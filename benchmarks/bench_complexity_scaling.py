@@ -1,0 +1,65 @@
+"""EXP-C1 — Section 4: polynomial data complexity, measured.
+
+The paper's headline formal claim is tractability: each fixed query
+evaluates in polynomial time in the data size. We time three fixed
+queries (pattern matching, single-source shortest paths, CONSTRUCT
+aggregation) over generated graphs of growing size. The harness
+(`python -m repro.bench complexity`) fits the log-log slope — a small
+constant exponent, versus the exponential blow-up of the simple-path
+baseline in bench_simple_path_baseline.py.
+"""
+
+import pytest
+
+from .conftest import snb_engine
+
+SIZES = [25, 50, 100, 200]
+
+PATTERN_QUERY = (
+    "CONSTRUCT (n)-[e:coFan]->(m) "
+    "MATCH (n:Person)-[:hasInterest]->(t:Tag)<-[:hasInterest]-(m:Person)"
+)
+SHORTEST_QUERY = (
+    "CONSTRUCT (n)-/@p:route/->(m) "
+    "MATCH (n:Person)-/p<:knows*>/->(m:Person) WHERE n.firstName = 'John'"
+)
+AGGREGATION_QUERY = (
+    "CONSTRUCT (x GROUP c {members := COUNT(*)}) "
+    "MATCH (n:Person)-[:isLocatedIn]->(c)"
+)
+REACHABILITY_QUERY = (
+    "CONSTRUCT (m) MATCH (n:Person)-/<:knows*>/->(m:Person) "
+    "WHERE n.firstName = 'John'"
+)
+
+
+@pytest.mark.parametrize("persons", SIZES)
+def test_scaling_pattern_matching(benchmark, persons):
+    engine = snb_engine(persons)
+    statement = engine.parse(PATTERN_QUERY)
+    result = benchmark(engine.run, statement)
+    assert result is not None
+
+
+@pytest.mark.parametrize("persons", SIZES)
+def test_scaling_shortest_paths(benchmark, persons):
+    engine = snb_engine(persons)
+    statement = engine.parse(SHORTEST_QUERY)
+    result = benchmark(engine.run, statement)
+    assert result is not None
+
+
+@pytest.mark.parametrize("persons", SIZES)
+def test_scaling_aggregation(benchmark, persons):
+    engine = snb_engine(persons)
+    statement = engine.parse(AGGREGATION_QUERY)
+    result = benchmark(engine.run, statement)
+    assert not result.is_empty()
+
+
+@pytest.mark.parametrize("persons", SIZES)
+def test_scaling_reachability(benchmark, persons):
+    engine = snb_engine(persons)
+    statement = engine.parse(REACHABILITY_QUERY)
+    result = benchmark(engine.run, statement)
+    assert result is not None

@@ -1,0 +1,83 @@
+"""CONSTRUCT micro-benchmarks: grouping, aggregation, copies, set ops.
+
+These cover the operations Appendix A.3 defines, on generated data, so
+regressions in the construct pipeline (grouping, skolemization,
+label/property assembly, WHEN filtering, graph union) show up as timing
+shifts.
+"""
+
+import pytest
+
+from .conftest import snb_engine
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return snb_engine(100)
+
+
+def run_construct(benchmark, engine, query, check=None):
+    statement = engine.parse(query)
+    result = benchmark(engine.run, statement)
+    if check is not None:
+        assert check(result)
+    return result
+
+
+def test_identity_construction(benchmark, engine):
+    run_construct(
+        benchmark, engine,
+        "CONSTRUCT (n) MATCH (n:Person)",
+        lambda g: len(g.nodes) == 100,
+    )
+
+
+def test_grouped_aggregation(benchmark, engine):
+    run_construct(
+        benchmark, engine,
+        "CONSTRUCT (x GROUP e :Company {name := e, staff := COUNT(*)}) "
+        "MATCH (n:Person {employer=e})",
+        lambda g: g.nodes,
+    )
+
+
+def test_edge_aggregation_with_when(benchmark, engine):
+    run_construct(
+        benchmark, engine,
+        "CONSTRUCT (t)-[e:popular {fans := COUNT(*)}]->(t) WHEN e.fans > 2 "
+        "MATCH (n:Person)-[:hasInterest]->(t:Tag)",
+    )
+
+
+def test_copy_construction(benchmark, engine):
+    run_construct(
+        benchmark, engine,
+        "CONSTRUCT (=n) MATCH (n:Person)",
+        lambda g: len(g.nodes) == 100,
+    )
+
+
+def test_union_with_base(benchmark, engine):
+    run_construct(
+        benchmark, engine,
+        "CONSTRUCT snb, (n {touched := TRUE}) MATCH (n:Person)",
+        lambda g: len(g.nodes) > 100,
+    )
+
+
+def test_graph_minus(benchmark, engine):
+    run_construct(
+        benchmark, engine,
+        "snb MINUS (CONSTRUCT (n) MATCH (n:Post|Comment))",
+        lambda g: g.nodes,
+    )
+
+
+def test_select_group_by(benchmark, engine):
+    run_construct(
+        benchmark, engine,
+        "SELECT c.name AS city, COUNT(*) AS inhabitants "
+        "MATCH (n:Person)-[:isLocatedIn]->(c:City) "
+        "GROUP BY city ORDER BY inhabitants DESC",
+        lambda t: len(t) > 0,
+    )

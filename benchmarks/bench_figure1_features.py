@@ -1,0 +1,53 @@
+"""EXP-F1 — Figure 1: the feature classes practitioners use, as workloads.
+
+Figure 1 tallies the features requested across LDBC TUC use cases:
+reachability (36), construction (34), pattern matching (32), shortest
+path search (19), clustering (14). For each class we run a representative
+G-CORE workload on the generated SNB graph, demonstrating (with timings)
+that the language covers every class the survey identified. The harness
+(`python -m repro.bench figure1`) prints the survey table itself.
+"""
+
+import pytest
+
+WORKLOADS = {
+    "graph_reachability": (
+        "CONSTRUCT (m) MATCH (n:Person)-/<:knows*>/->(m:Person) "
+        "WHERE n.firstName = 'John'"
+    ),
+    "graph_construction": (
+        "CONSTRUCT (x GROUP e :Company {name:=e})<-[:worksAt]-(n) "
+        "MATCH (n:Person {employer=e})"
+    ),
+    "pattern_matching": (
+        "CONSTRUCT (n)-[e:coFan]->(m) "
+        "MATCH (n:Person)-[:hasInterest]->(t:Tag)<-[:hasInterest]-(m:Person)"
+    ),
+    "shortest_path_search": (
+        "CONSTRUCT (n)-/@p:route {d := c}/->(m) "
+        "MATCH (n:Person)-/p<:knows*> COST c/->(m:Person) "
+        "WHERE n.firstName = 'John' "
+        "AND (m)-[:hasInterest]->(:Tag {name='Wagner'})"
+    ),
+    # Clustering proxy: group persons into their city communities and
+    # materialize one :Community node per city with a member count.
+    "graph_clustering": (
+        "CONSTRUCT (x GROUP c :Community {city := c.name, "
+        "members := COUNT(*)}) "
+        "MATCH (n:Person)-[:isLocatedIn]->(c)"
+    ),
+}
+
+
+@pytest.mark.parametrize("feature", sorted(WORKLOADS))
+def test_figure1_feature_class(benchmark, snb_small, feature):
+    statement = snb_small.parse(WORKLOADS[feature])
+    result = benchmark(snb_small.run, statement)
+    assert not result.is_empty()
+
+
+@pytest.mark.parametrize("feature", ["graph_reachability", "pattern_matching"])
+def test_figure1_feature_class_medium(benchmark, snb_medium, feature):
+    statement = snb_medium.parse(WORKLOADS[feature])
+    result = benchmark(snb_medium.run, statement)
+    assert not result.is_empty()

@@ -1,0 +1,56 @@
+"""Frontend micro-benchmarks: tokenize / parse / pretty / round-trip.
+
+The LDBC reference grammar is ANTLR-generated; our hand-written
+recursive-descent parser should stay comfortably in the tens of
+microseconds per query so parsing never dominates query latency.
+"""
+
+import pytest
+
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_statement
+from repro.lang.pretty import pretty_statement
+
+QUERIES = {
+    "simple": "CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = 'Acme'",
+    "multi_graph": (
+        "CONSTRUCT (c)<-[:worksAt]-(n) MATCH (c:Company) ON company_graph, "
+        "(n:Person {employer=e}) ON social_graph WHERE c.name = e "
+        "UNION social_graph"
+    ),
+    "paths": (
+        "CONSTRUCT (n)-/@p:localPeople{distance:=c}/->(m) "
+        "MATCH (n)-/3 SHORTEST p<:knows*> COST c/->(m) "
+        "WHERE (n:Person) AND (m:Person) AND n.firstName = 'John' "
+        "AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)"
+    ),
+    "views": (
+        "GRAPH VIEW sg2 AS (PATH wKnows = (x)-[e:knows]->(y) "
+        "WHERE NOT 'Acme' IN y.employer COST 1 / (1 + e.nr_messages) "
+        "CONSTRUCT sg1, (n)-/@p:toWagner/->(m) "
+        "MATCH (n:Person)-/p<~wKnows*>/->(m:Person) ON sg1 "
+        "WHERE (m)-[:hasInterest]->(:Tag {name='Wagner'}))"
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_tokenize(benchmark, name):
+    tokens = benchmark(tokenize, QUERIES[name])
+    assert tokens[-1].kind == "EOF"
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_parse(benchmark, name):
+    statement = benchmark(parse_statement, QUERIES[name])
+    assert statement is not None
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_round_trip(benchmark, name):
+    statement = parse_statement(QUERIES[name])
+
+    def round_trip():
+        return parse_statement(pretty_statement(statement))
+
+    assert benchmark(round_trip) == statement

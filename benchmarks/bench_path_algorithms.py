@@ -1,0 +1,91 @@
+"""EXP-B2 — path-algorithm micro-benchmarks vs. a networkx baseline.
+
+PathFinder interleaves automaton states with graph traversal; on a plain
+single-label reachability/shortest-path task it should stay within a
+small constant factor of networkx's dedicated algorithms (which cannot
+handle regular path constraints at all). Also covers k-shortest and the
+weighted view traversal.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.datasets.generator import SnbParameters, generate_snb_graph
+from repro.lang import ast
+from repro.paths.automaton import compile_regex
+from repro.paths.product import PathFinder, ViewSegment
+
+KSTAR = compile_regex(ast.RStar(ast.RLabel("knows")))
+
+
+@pytest.fixture(scope="module")
+def snb():
+    return generate_snb_graph(SnbParameters(persons=150, seed=21))
+
+
+@pytest.fixture(scope="module")
+def nx_graph(snb):
+    g = nx.DiGraph()
+    g.add_nodes_from(snb.nodes)
+    for edge in snb.edges_with_label("knows"):
+        src, dst = snb.endpoints(edge)
+        g.add_edge(src, dst)
+    return g
+
+
+SOURCE = "p0"
+
+
+def test_single_source_shortest_pathfinder(benchmark, snb):
+    finder = PathFinder(snb, KSTAR)
+    walks = benchmark(finder.shortest_from, SOURCE)
+    assert walks
+
+
+def test_single_source_shortest_networkx(benchmark, nx_graph):
+    lengths = benchmark(nx.single_source_shortest_path_length, nx_graph, SOURCE)
+    assert lengths
+
+
+def test_results_agree_with_networkx(snb, nx_graph):
+    finder = PathFinder(snb, KSTAR)
+    walks = finder.shortest_from(SOURCE)
+    lengths = nx.single_source_shortest_path_length(nx_graph, SOURCE)
+    persons = {n for n in snb.nodes_with_label("Person")}
+    assert {n: w.cost for n, w in walks.items() if n in persons} == {
+        n: float(l) if isinstance(l, float) else l
+        for n, l in lengths.items() if n in persons
+    }
+
+
+def test_reachability_pathfinder(benchmark, snb):
+    finder = PathFinder(snb, KSTAR)
+    reachable = benchmark(finder.reachable_from, SOURCE)
+    assert reachable
+
+
+def test_k_shortest(benchmark, snb):
+    finder = PathFinder(snb, KSTAR)
+    walks = benchmark(finder.k_shortest, SOURCE, "p25", 4)
+    assert walks
+
+
+def test_all_paths_projection(benchmark, snb):
+    finder = PathFinder(snb, KSTAR)
+    nodes, edges = benchmark(finder.all_paths_projection, SOURCE, "p25")
+    assert nodes
+
+
+def test_weighted_view_traversal(benchmark, snb):
+    # A synthetic weighted view over knows edges (uniform 0.5 cost).
+    segments = {}
+    for edge in snb.edges_with_label("knows"):
+        src, dst = snb.endpoints(edge)
+        segments.setdefault(src, []).append(
+            ViewSegment(dst, 0.5, (src, edge, dst))
+        )
+    views = {"w": {s: tuple(v) for s, v in segments.items()}}
+    nfa = compile_regex(ast.RStar(ast.RView("w")))
+    finder = PathFinder(snb, nfa, views)
+    walks = benchmark(finder.shortest_from, SOURCE)
+    assert walks

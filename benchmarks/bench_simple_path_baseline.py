@@ -1,0 +1,62 @@
+"""EXP-C1 (baseline) — the NP-hard simple-path semantics G-CORE rejects.
+
+Appendix A.1 cites Mendelzon & Wood: regular simple paths are
+NP-complete. On ladder graphs with 2^k simple s->t paths, enumeration
+explodes while the product-graph search (arbitrary-walk semantics, what
+G-CORE adopted) stays flat. "Who wins": the walk semantics, by an
+exponentially growing factor — exactly the design argument of the paper.
+"""
+
+import pytest
+
+from repro.lang import ast
+from repro.model.builder import GraphBuilder
+from repro.paths.automaton import compile_regex
+from repro.paths.product import PathFinder
+from repro.paths.simplepaths import count_simple_paths
+
+KSTAR = compile_regex(ast.RStar(ast.RLabel("k")))
+
+
+def ladder(rungs):
+    builder = GraphBuilder()
+    builder.add_node("n0")
+    previous = "n0"
+    for i in range(rungs):
+        top, bottom, merge = f"t{i}", f"b{i}", f"n{i+1}"
+        builder.add_node(top)
+        builder.add_node(bottom)
+        builder.add_node(merge)
+        builder.add_edge(previous, top, edge_id=f"e{i}a", labels=["k"])
+        builder.add_edge(previous, bottom, edge_id=f"e{i}b", labels=["k"])
+        builder.add_edge(top, merge, edge_id=f"e{i}c", labels=["k"])
+        builder.add_edge(bottom, merge, edge_id=f"e{i}d", labels=["k"])
+        previous = merge
+    return builder.build(), "n0", previous
+
+
+RUNGS = [4, 6, 8, 10]
+
+
+@pytest.mark.parametrize("rungs", RUNGS)
+def test_simple_path_enumeration_explodes(benchmark, rungs):
+    graph, source, target = ladder(rungs)
+    count = benchmark(count_simple_paths, graph, KSTAR, source, target)
+    assert count == 2 ** rungs
+
+
+@pytest.mark.parametrize("rungs", RUNGS)
+def test_walk_semantics_stays_polynomial(benchmark, rungs):
+    graph, source, target = ladder(rungs)
+    finder = PathFinder(graph, KSTAR)
+    walk = benchmark(finder.shortest, source, target)
+    assert walk is not None and walk.cost == 2 * rungs
+
+
+@pytest.mark.parametrize("rungs", RUNGS)
+def test_all_paths_projection_stays_polynomial(benchmark, rungs):
+    # Even *covering all paths* is tractable via the graph projection.
+    graph, source, target = ladder(rungs)
+    finder = PathFinder(graph, KSTAR)
+    nodes, edges = benchmark(finder.all_paths_projection, source, target)
+    assert len(edges) == 4 * rungs

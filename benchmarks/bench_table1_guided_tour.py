@@ -1,0 +1,142 @@
+"""EXP-T1 — Table 1: every feature of the guided tour, as a benchmark.
+
+Table 1 of the paper maps each G-CORE feature to the query lines that
+demonstrate it. Each benchmark below executes the corresponding query on
+the Figure 4 instance and asserts the paper's result, so the table rows
+are regenerated with timings attached. Run with:
+
+    pytest benchmarks/bench_table1_guided_tour.py --benchmark-only
+"""
+
+import pytest
+
+# (feature row of Table 1, query, checker)
+TOUR = {
+    "matching_literal_values": (
+        "CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = 'Acme'",
+        lambda g: g.nodes == {"john", "alice"},
+    ),
+    "value_joins": (
+        "CONSTRUCT (c)<-[:worksAt]-(n) "
+        "MATCH (c:Company) ON company_graph, (n:Person) ON social_graph "
+        "WHERE c.name = n.employer",
+        lambda g: len(g.edges) == 3,
+    ),
+    "cartesian_product": (
+        "CONSTRUCT (c), (n) "
+        "MATCH (c:Company) ON company_graph, (n:Person) ON social_graph",
+        lambda g: len(g.nodes) == 9,
+    ),
+    "list_membership": (
+        "CONSTRUCT (c)<-[:worksAt]-(n) "
+        "MATCH (c:Company) ON company_graph, (n:Person) ON social_graph "
+        "WHERE c.name IN n.employer",
+        lambda g: len(g.edges) == 5,
+    ),
+    "graph_aggregation": (
+        "CONSTRUCT social_graph, "
+        "(x GROUP e :Company {name:=e})<-[y:worksAt]-(n) "
+        "MATCH (n:Person {employer=e})",
+        lambda g: len([n for n in g.nodes if g.has_label(n, "Company")]) == 4,
+    ),
+    "k_shortest_paths": (
+        "CONSTRUCT (n)-/@p:localPeople{distance:=c}/->(m) "
+        "MATCH (n)-/3 SHORTEST p<:knows*> COST c/->(m) "
+        "WHERE (n:Person) AND (m:Person) AND n.firstName = 'John' "
+        "AND n.lastName = 'Doe' "
+        "AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)",
+        lambda g: len(g.paths) > 0,
+    ),
+    "reachability": (
+        "CONSTRUCT (m) MATCH (n:Person)-/<:knows*>/->(m:Person) "
+        "WHERE n.firstName = 'John' AND n.lastName = 'Doe' "
+        "AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)",
+        lambda g: len(g.nodes) == 5,
+    ),
+    "all_shortest_projection": (
+        "CONSTRUCT (n)-/p/->(m) "
+        "MATCH (n:Person)-/ALL p<:knows*>/->(m:Person) "
+        "WHERE n.firstName = 'John' AND n.lastName = 'Doe' "
+        "AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)",
+        lambda g: len(g.edges) == 10,
+    ),
+    "implicit_existential": (
+        "CONSTRUCT (n) MATCH (n:Person), (m:Person) "
+        "WHERE (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)",
+        lambda g: len(g.nodes) == 5,
+    ),
+    "explicit_existential": (
+        "CONSTRUCT (n) MATCH (n:Person) WHERE EXISTS ("
+        "CONSTRUCT () MATCH (n)-[:hasInterest]->(m))",
+        lambda g: g.nodes == {"celine", "frank"},
+    ),
+    "set_union_on_graphs": (
+        "CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = 'Acme' "
+        "UNION social_graph",
+        lambda g: len(g.nodes) > 5,
+    ),
+    "tabular_projection": (
+        "SELECT m.lastName + ', ' + m.firstName AS friendName "
+        "MATCH (n:Person)-/<:knows*>/->(m:Person) "
+        "WHERE n.firstName = 'John' AND n.lastName = 'Doe' "
+        "AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)",
+        lambda t: len(t) == 5,
+    ),
+    "binding_table_import": (
+        "CONSTRUCT (cust GROUP custName :Customer {name:=custName}), "
+        "(prod GROUP prodCode :Product {code:=prodCode}), "
+        "(cust)-[:bought]->(prod) FROM orders",
+        lambda g: len(g.edges) == 6,
+    ),
+    "table_as_graph": (
+        "CONSTRUCT (cust GROUP o.custName :Customer {name:=o.custName}), "
+        "(prod GROUP o.prodCode :Product {code:=o.prodCode}), "
+        "(cust)-[:bought]->(prod) MATCH (o) ON orders",
+        lambda g: len(g.edges) == 6,
+    ),
+}
+
+
+@pytest.mark.parametrize("feature", sorted(TOUR))
+def test_table1_feature(benchmark, tour_engine, feature):
+    query, check = TOUR[feature]
+    statement = tour_engine.parse(query)
+    result = benchmark(tour_engine.run, statement)
+    assert check(result), feature
+
+
+def test_table1_views_pipeline(benchmark, tour_engine):
+    """The Figure 5 pipeline (views + weighted paths + final scoring)."""
+
+    def pipeline():
+        tour_engine.run(
+            "GRAPH VIEW social_graph1 AS ("
+            "CONSTRUCT social_graph, (n)-[e]->(m) "
+            "SET e.nr_messages := COUNT(*) "
+            "MATCH (n)-[e:knows]->(m) WHERE (n:Person) AND (m:Person) "
+            "OPTIONAL (n)<-[c1]-(msg1:Post|Comment), "
+            "(msg1)-[:reply_of]-(msg2), (msg2:Post|Comment)-[c2]->(m) "
+            "WHERE (c1:has_creator) AND (c2:has_creator))"
+        )
+        tour_engine.run(
+            "GRAPH VIEW social_graph2 AS ("
+            "PATH wKnows = (x)-[e:knows]->(y) "
+            "WHERE NOT 'Acme' IN y.employer "
+            "COST 1 / (1 + e.nr_messages) "
+            "CONSTRUCT social_graph1, (n)-/@p:toWagner/->(m) "
+            "MATCH (n:Person)-/p<~wKnows*>/->(m:Person) ON social_graph1 "
+            "WHERE (m)-[:hasInterest]->(:Tag {name='Wagner'}) "
+            "AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m) "
+            "AND n.firstName = 'John' AND n.lastName = 'Doe')"
+        )
+        return tour_engine.run(
+            "CONSTRUCT (n)-[e:wagnerFriend {score:=COUNT(*)}]->(m) "
+            "WHEN e.score > 0 "
+            "MATCH (n:Person)-/@p:toWagner/->(), (m:Person) ON social_graph2 "
+            "WHERE m = nodes(p)[1]"
+        )
+
+    result = benchmark(pipeline)
+    (edge,) = result.edges
+    assert result.endpoints(edge) == ("john", "peter")
+    assert result.property(edge, "score") == {2}

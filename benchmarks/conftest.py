@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+from repro import GCoreEngine
+from repro.datasets import company_graph, orders_table, social_graph
+from repro.datasets.generator import (
+    SnbParameters,
+    generate_company_graph,
+    generate_snb_graph,
+)
+
+
+@pytest.fixture(scope="session")
+def tour_engine():
+    """The paper's toy instances (Figure 4) — used by Table 1 benches."""
+    eng = GCoreEngine()
+    eng.register_graph("social_graph", social_graph(), default=True)
+    eng.register_graph("company_graph", company_graph())
+    eng.register_table("orders", orders_table())
+    return eng
+
+
+def snb_engine(persons: int, seed: int = 42) -> GCoreEngine:
+    eng = GCoreEngine()
+    params = SnbParameters(persons=persons, seed=seed)
+    eng.register_graph("snb", generate_snb_graph(params), default=True)
+    eng.register_graph("companies", generate_company_graph(params))
+    return eng
+
+
+@pytest.fixture(scope="session")
+def snb_small():
+    """A small generated SNB graph (50 persons)."""
+    return snb_engine(50)
+
+
+@pytest.fixture(scope="session")
+def snb_medium():
+    """A medium generated SNB graph (150 persons)."""
+    return snb_engine(150)

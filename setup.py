@@ -1,0 +1,17 @@
+"""Legacy setup shim (the offline environment lacks the `wheel` package,
+so editable installs go through `setup.py develop`)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "G-CORE: a complete Python reproduction of the SIGMOD 2018 graph "
+        "query language (Path Property Graphs, composable graph queries, "
+        "paths as first-class citizens)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,119 @@
+"""Aggregation functions — COUNT, SUM, MIN, MAX, AVG, COLLECT.
+
+Appendix A.1 lists the aggregation functions inherited from relational
+query languages plus COLLECT. They are evaluated over a *group* of
+bindings (an equivalence class produced by grouping, or a whole table).
+
+One deliberate semantic choice (documented in DESIGN.md): ``COUNT(*)``
+counts only *maximal* bindings — those whose domain covers every variable
+of the enclosing match block. This makes the paper's Figure-5 view produce
+``nr_messages = 0`` for pairs whose OPTIONAL block did not match, exactly
+as Section 3 asserts, while remaining the ordinary row count for tables
+without partial rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..errors import EvaluationError
+from ..model.values import as_scalar, as_value_set
+from .binding import Binding, BindingTable
+
+__all__ = ["AGGREGATE_NAMES", "evaluate_aggregate", "is_aggregate_name"]
+
+AGGREGATE_NAMES = frozenset({"count", "sum", "min", "max", "avg", "collect"})
+
+
+def is_aggregate_name(name: str) -> bool:
+    """True for the aggregation function names of Appendix A.1."""
+    return name.lower() in AGGREGATE_NAMES
+
+
+def _numeric(values: List[Any], function: str) -> List[float]:
+    numbers: List[float] = []
+    for value in values:
+        scalar = as_scalar(value)
+        if isinstance(scalar, bool) or not isinstance(scalar, (int, float)):
+            raise EvaluationError(
+                f"{function.upper()} over non-numeric value: {scalar!r}"
+            )
+        numbers.append(scalar)
+    return numbers
+
+
+def evaluate_aggregate(
+    name: str,
+    rows: Iterable[Binding],
+    evaluate_argument: Optional[Callable[[Binding], Any]],
+    star: bool = False,
+    distinct: bool = False,
+    maximal_domain: Optional[FrozenSet[str]] = None,
+) -> Any:
+    """Evaluate aggregate *name* over *rows*.
+
+    ``evaluate_argument`` maps a binding to the argument value (None for
+    ``COUNT(*)``). Empty/absent argument values (empty value sets) are
+    skipped, mirroring SQL's treatment of NULLs. ``maximal_domain`` feeds
+    the COUNT(*) maximality rule described in the module docstring.
+    """
+    name = name.lower()
+    if name not in AGGREGATE_NAMES:
+        raise EvaluationError(f"unknown aggregate: {name}")
+
+    if name == "count" and star:
+        if maximal_domain is None:
+            return sum(1 for _ in rows)
+        return sum(1 for row in rows if maximal_domain <= row.domain)
+
+    if evaluate_argument is None:
+        raise EvaluationError(f"{name.upper()} requires an argument")
+
+    values: List[Any] = []
+    for row in rows:
+        value = evaluate_argument(row)
+        if value is None:
+            continue
+        if isinstance(value, frozenset):
+            if not value:
+                continue
+            value = as_scalar(value)
+        values.append(value)
+    if distinct:
+        seen = set()
+        unique: List[Any] = []
+        for value in values:
+            key = value if isinstance(value, (int, float, str, bool, frozenset)) else repr(value)
+            if key not in seen:
+                seen.add(key)
+                unique.append(value)
+        values = unique
+
+    if name == "count":
+        return len(values)
+    if name == "collect":
+        return tuple(values)
+    if not values:
+        # MIN/MAX/SUM/AVG over an empty group: absent value (empty set).
+        return frozenset()
+    if name == "sum":
+        return sum(_numeric(values, name))
+    if name == "avg":
+        numbers = _numeric(values, name)
+        return sum(numbers) / len(numbers)
+    if name == "min":
+        return _extremum(values, minimum=True)
+    if name == "max":
+        return _extremum(values, minimum=False)
+    raise EvaluationError(f"unknown aggregate: {name}")
+
+
+def _extremum(values: List[Any], minimum: bool) -> Any:
+    scalars = [as_scalar(v) for v in values]
+    numbers = [s for s in scalars if isinstance(s, (int, float)) and not isinstance(s, bool)]
+    if len(numbers) == len(scalars):
+        return min(numbers) if minimum else max(numbers)
+    strings = [s for s in scalars if isinstance(s, str)]
+    if len(strings) == len(scalars):
+        return min(strings) if minimum else max(strings)
+    raise EvaluationError("MIN/MAX over mixed-type values")

@@ -1,0 +1,255 @@
+"""Bindings and binding tables — Appendix A.1 of the paper.
+
+A *binding* is a partial function from variables to graph objects or
+literal values. The MATCH clause produces a *set* of bindings, which the
+paper also visualizes as a table with one column per variable; both views
+are provided here. Bindings are immutable and hashable so tables behave
+as sets (duplicate bindings collapse), exactly matching the formal model.
+
+Partiality matters: a variable missing from a binding's domain (e.g. after
+an OPTIONAL block that did not match) is *compatible* with any value of
+that variable in another binding — compatibility only constrains the
+intersection of the domains.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+__all__ = ["Binding", "BindingTable", "EMPTY_BINDING"]
+
+
+class Binding(Mapping[str, Any]):
+    """An immutable partial assignment of variables to values."""
+
+    __slots__ = ("_data", "_hash")
+
+    def __init__(self, data: Optional[Mapping[str, Any]] = None) -> None:
+        self._data: Dict[str, Any] = dict(data or {})
+        self._hash: Optional[int] = None
+
+    # Mapping protocol -------------------------------------------------
+    def __getitem__(self, var: str) -> Any:
+        return self._data[var]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, var: object) -> bool:
+        return var in self._data
+
+    # Set-of-bindings support -------------------------------------------
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._data.items()))
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Binding):
+            return self._data == other._data
+        if isinstance(other, Mapping):
+            return self._data == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{var}={self._data[var]!r}" for var in sorted(self._data)
+        )
+        return "{" + inner + "}"
+
+    # Operations ---------------------------------------------------------
+    @property
+    def domain(self) -> FrozenSet[str]:
+        """``dom(mu)`` — the set of variables this binding assigns."""
+        return frozenset(self._data)
+
+    def get(self, var: str, default: Any = None) -> Any:
+        return self._data.get(var, default)
+
+    def compatible(self, other: "Binding") -> bool:
+        """``mu1 ~ mu2``: agreement on the intersection of the domains."""
+        if len(self._data) > len(other._data):
+            self, other = other, self
+        for var, value in self._data.items():
+            if var in other._data and other._data[var] != value:
+                return False
+        return True
+
+    def merge(self, other: "Binding") -> "Binding":
+        """``mu1 u mu2`` for compatible bindings (caller checks compatibility)."""
+        merged = dict(self._data)
+        merged.update(other._data)
+        return Binding(merged)
+
+    def extend(self, var: str, value: Any) -> "Binding":
+        """A new binding that additionally maps *var* to *value*."""
+        extended = dict(self._data)
+        extended[var] = value
+        return Binding(extended)
+
+    def extend_many(self, items: Mapping[str, Any]) -> "Binding":
+        """A new binding with all of *items* added."""
+        extended = dict(self._data)
+        extended.update(items)
+        return Binding(extended)
+
+    def project(self, variables: Iterable[str]) -> "Binding":
+        """Restrict the binding to *variables* (missing ones are dropped)."""
+        return Binding(
+            {var: self._data[var] for var in variables if var in self._data}
+        )
+
+    def drop(self, variables: Iterable[str]) -> "Binding":
+        """Remove *variables* from the binding's domain."""
+        doomed = set(variables)
+        return Binding(
+            {var: val for var, val in self._data.items() if var not in doomed}
+        )
+
+
+EMPTY_BINDING = Binding()
+
+
+class BindingTable:
+    """A set of bindings, with an ordered list of display columns.
+
+    The *columns* record every variable that may appear in the table (the
+    union of pattern variables), while individual rows may be partial.
+    Rows are deduplicated on construction, so the table is semantically the
+    set the formal semantics manipulates.
+    """
+
+    __slots__ = ("_columns", "_rows")
+
+    def __init__(
+        self,
+        columns: Sequence[str] = (),
+        rows: Iterable[Binding] = (),
+    ) -> None:
+        self._columns: Tuple[str, ...] = tuple(dict.fromkeys(columns))
+        seen = set()
+        unique: List[Binding] = []
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                unique.append(row)
+        self._rows: Tuple[Binding, ...] = tuple(unique)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def unit(cls) -> "BindingTable":
+        """The table containing only the empty binding (join identity)."""
+        return cls((), (EMPTY_BINDING,))
+
+    @classmethod
+    def empty(cls, columns: Sequence[str] = ()) -> "BindingTable":
+        """The table with no rows (join annihilator)."""
+        return cls(columns, ())
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return self._columns
+
+    @property
+    def rows(self) -> Tuple[Binding, ...]:
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Binding]:
+        return iter(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BindingTable):
+            return NotImplemented
+        return set(self._rows) == set(other._rows)
+
+    def __repr__(self) -> str:
+        return f"<BindingTable {list(self._columns)} with {len(self._rows)} rows>"
+
+    # ------------------------------------------------------------------
+    def with_columns(self, columns: Sequence[str]) -> "BindingTable":
+        """The same rows under a widened column list."""
+        return BindingTable(tuple(self._columns) + tuple(columns), self._rows)
+
+    def maximal_domain(self) -> FrozenSet[str]:
+        """The union of all row domains (used by COUNT(*) semantics)."""
+        dom: set = set()
+        for row in self._rows:
+            dom |= row.domain
+        return frozenset(dom)
+
+    def project(self, variables: Sequence[str]) -> "BindingTable":
+        """Project (and deduplicate) onto *variables*."""
+        return BindingTable(
+            variables, (row.project(variables) for row in self._rows)
+        )
+
+    def drop(self, variables: Iterable[str]) -> "BindingTable":
+        """Drop *variables* from columns and rows (deduplicates)."""
+        doomed = set(variables)
+        remaining = [c for c in self._columns if c not in doomed]
+        return BindingTable(remaining, (row.drop(doomed) for row in self._rows))
+
+    def filter(self, predicate) -> "BindingTable":
+        """Keep rows satisfying *predicate* (a ``Binding -> bool``)."""
+        return BindingTable(
+            self._columns, (row for row in self._rows if predicate(row))
+        )
+
+    def pretty(self, limit: int = 25) -> str:
+        """Render the table the way the paper prints binding tables."""
+        columns = list(self._columns) or sorted(self.maximal_domain())
+        widths = {c: len(c) for c in columns}
+        rendered: List[List[str]] = []
+        for row in self._rows[:limit]:
+            cells = []
+            for column in columns:
+                if column in row:
+                    text = _render_cell(row[column])
+                else:
+                    text = ""
+                widths[column] = max(widths[column], len(text))
+                cells.append(text)
+            rendered.append(cells)
+        header = " | ".join(c.ljust(widths[c]) for c in columns)
+        separator = "-+-".join("-" * widths[c] for c in columns)
+        lines = [header, separator]
+        for cells in rendered:
+            lines.append(
+                " | ".join(
+                    cell.ljust(widths[column])
+                    for column, cell in zip(columns, cells)
+                )
+            )
+        if len(self._rows) > limit:
+            lines.append(f"... ({len(self._rows) - limit} more rows)")
+        return "\n".join(lines)
+
+
+def _render_cell(value: Any) -> str:
+    from ..model.values import format_value_set, is_scalar, format_scalar
+
+    if isinstance(value, frozenset):
+        return format_value_set(value)
+    if is_scalar(value):
+        return format_scalar(value)
+    return str(value)

@@ -1,0 +1,62 @@
+"""Grouping of binding tables — the ``grp`` operator of Appendix A.3.
+
+CONSTRUCT groups the binding set by a *grouping set* Γ of variables: two
+bindings are equivalent when they agree on every variable of Γ. A variable
+absent from a binding's domain is its own group key (the ``MISSING``
+sentinel), so partial bindings group deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from .binding import Binding, BindingTable
+
+__all__ = ["MISSING", "group_key", "group_by"]
+
+
+class _Missing:
+    """Sentinel for 'variable not bound'; sorts after every real value."""
+
+    _instance = None
+
+    def __new__(cls) -> "_Missing":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<missing>"
+
+
+MISSING = _Missing()
+
+
+def group_key(row: Binding, variables: Sequence[str]) -> Tuple[Any, ...]:
+    """The Γ-projection of a binding, with MISSING for unbound variables."""
+    return tuple(row.get(var, MISSING) for var in variables)
+
+
+def _sort_token(value: Any) -> str:
+    return f"{type(value).__name__}:{value!r}"
+
+
+def group_by(
+    table: BindingTable, variables: Sequence[str]
+) -> List[Tuple[Tuple[Any, ...], BindingTable]]:
+    """Partition *table* into equivalence classes under Γ = *variables*.
+
+    Returns ``[(key, sub-table), ...]`` sorted deterministically by key so
+    that downstream identifier generation (the skolem ``new`` function) is
+    reproducible run-to-run.
+    """
+    groups: Dict[Tuple[Any, ...], List[Binding]] = {}
+    for row in table:
+        groups.setdefault(group_key(row, variables), []).append(row)
+    ordered = sorted(
+        groups.items(),
+        key=lambda item: tuple(_sort_token(v) for v in item[0]),
+    )
+    return [
+        (key, BindingTable(table.columns, rows)) for key, rows in ordered
+    ]

@@ -1,0 +1,143 @@
+"""The binding-table operators of Appendix A.1.
+
+The paper defines five operations over finite sets of bindings:
+
+* union            ``O1 u O2``
+* join             ``O1 |><| O2``  (compatible bindings merged)
+* semijoin         ``O1 |>< O2``   (left bindings with a compatible right)
+* antijoin         ``O1 \\ O2``    (left bindings with *no* compatible right)
+* left outer join  ``O1 =|><| O2 = (O1 |><| O2) u (O1 \\ O2)``
+
+Compatibility of partial bindings makes the join slightly subtler than a
+relational natural join: a row that does not bind a shared variable joins
+with *every* value of that variable. The implementation hash-partitions
+rows by the subset of shared variables they actually bind, so the common
+case (all rows total) remains a plain hash join.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from .binding import Binding, BindingTable
+
+__all__ = [
+    "table_union",
+    "table_join",
+    "table_semijoin",
+    "table_antijoin",
+    "table_left_join",
+    "cartesian_product",
+]
+
+
+def _merged_columns(left: BindingTable, right: BindingTable) -> Tuple[str, ...]:
+    return tuple(dict.fromkeys(tuple(left.columns) + tuple(right.columns)))
+
+
+def table_union(left: BindingTable, right: BindingTable) -> BindingTable:
+    """``O1 u O2`` — set union of the rows."""
+    return BindingTable(_merged_columns(left, right), tuple(left) + tuple(right))
+
+
+def _shared_variables(left: BindingTable, right: BindingTable) -> FrozenSet[str]:
+    return frozenset(left.columns) & frozenset(right.columns)
+
+
+def _partition(
+    rows: Iterable[Binding], shared: FrozenSet[str]
+) -> Dict[FrozenSet[str], List[Binding]]:
+    """Group rows by which of the shared variables they actually bind."""
+    partitions: Dict[FrozenSet[str], List[Binding]] = defaultdict(list)
+    for row in rows:
+        partitions[row.domain & shared].append(row)
+    return partitions
+
+
+def _join_pairs(left: BindingTable, right: BindingTable):
+    """Yield all compatible (left_row, right_row) pairs via hash joins."""
+    shared = _shared_variables(left, right)
+    if not shared:
+        for left_row in left:
+            for right_row in right:
+                yield left_row, right_row
+        return
+    left_parts = _partition(left, shared)
+    right_parts = _partition(right, shared)
+    for left_mask, left_rows in left_parts.items():
+        for right_mask, right_rows in right_parts.items():
+            common = left_mask & right_mask
+            key_vars = tuple(sorted(common))
+            if not key_vars:
+                for left_row in left_rows:
+                    for right_row in right_rows:
+                        yield left_row, right_row
+                continue
+            index: Dict[tuple, List[Binding]] = defaultdict(list)
+            for right_row in right_rows:
+                index[tuple(right_row[v] for v in key_vars)].append(right_row)
+            for left_row in left_rows:
+                key = tuple(left_row[v] for v in key_vars)
+                for right_row in index.get(key, ()):
+                    yield left_row, right_row
+
+
+def table_join(left: BindingTable, right: BindingTable) -> BindingTable:
+    """``O1 |><| O2`` — merge every pair of compatible bindings."""
+    columns = _merged_columns(left, right)
+    return BindingTable(
+        columns,
+        (
+            left_row.merge(right_row)
+            for left_row, right_row in _join_pairs(left, right)
+        ),
+    )
+
+
+def table_semijoin(left: BindingTable, right: BindingTable) -> BindingTable:
+    """``O1 |>< O2`` — left rows that have a compatible right row."""
+    survivors = set()
+    for left_row, _ in _join_pairs(left, right):
+        survivors.add(left_row)
+    return BindingTable(left.columns, (row for row in left if row in survivors))
+
+
+def table_antijoin(left: BindingTable, right: BindingTable) -> BindingTable:
+    """``O1 \\ O2`` — left rows with *no* compatible right row."""
+    blocked = set()
+    for left_row, _ in _join_pairs(left, right):
+        blocked.add(left_row)
+    return BindingTable(left.columns, (row for row in left if row not in blocked))
+
+
+def table_left_join(left: BindingTable, right: BindingTable) -> BindingTable:
+    """``O1 =|><| O2 = (O1 |><| O2) u (O1 \\ O2)`` — the OPTIONAL operator."""
+    columns = _merged_columns(left, right)
+    joined: List[Binding] = []
+    matched = set()
+    for left_row, right_row in _join_pairs(left, right):
+        matched.add(left_row)
+        joined.append(left_row.merge(right_row))
+    for row in left:
+        if row not in matched:
+            joined.append(row)
+    return BindingTable(columns, joined)
+
+
+def cartesian_product(left: BindingTable, right: BindingTable) -> BindingTable:
+    """An explicit Cartesian product (join with no shared variables).
+
+    Used by the guided-tour reproduction to print the 20-row table of
+    Section 3; semantically identical to :func:`table_join` when the
+    operands share no variables.
+    """
+    columns = _merged_columns(left, right)
+    return BindingTable(
+        columns,
+        (
+            left_row.merge(right_row)
+            for left_row in left
+            for right_row in right
+        ),
+    )

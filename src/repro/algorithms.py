@@ -1,0 +1,105 @@
+"""Graph analytics over Path Property Graphs.
+
+The Figure 1 survey lists *graph clustering* among the features
+practitioners need; while G-CORE expresses community grouping through
+CONSTRUCT aggregation, bulk analytics (components, degree profiles,
+label histograms) are a natural library companion. Everything here works
+directly on :class:`~repro.model.graph.PathPropertyGraph` and composes
+with query results.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from .model.graph import ObjectId, PathPropertyGraph
+
+__all__ = [
+    "connected_components",
+    "component_of",
+    "degree_histogram",
+    "label_histogram",
+    "graph_summary",
+]
+
+
+def connected_components(
+    graph: PathPropertyGraph, labels: Optional[FrozenSet[str]] = None
+) -> List[FrozenSet[ObjectId]]:
+    """Weakly connected components (optionally restricted to edge labels).
+
+    Returns components sorted by decreasing size, then by smallest member,
+    so the output is deterministic.
+    """
+    seen: set = set()
+    components: List[FrozenSet[ObjectId]] = []
+    for start in sorted(graph.nodes, key=str):
+        if start in seen:
+            continue
+        component = set()
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            node = queue.popleft()
+            component.add(node)
+            neighbours = []
+            for edge in graph.out_edges(node):
+                if labels is None or graph.labels(edge) & labels:
+                    neighbours.append(graph.endpoints(edge)[1])
+            for edge in graph.in_edges(node):
+                if labels is None or graph.labels(edge) & labels:
+                    neighbours.append(graph.endpoints(edge)[0])
+            for neighbour in neighbours:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    queue.append(neighbour)
+        components.append(frozenset(component))
+    components.sort(key=lambda c: (-len(c), min(map(str, c))))
+    return components
+
+
+def component_of(
+    graph: PathPropertyGraph,
+    node: ObjectId,
+    labels: Optional[FrozenSet[str]] = None,
+) -> FrozenSet[ObjectId]:
+    """The weakly connected component containing *node*."""
+    for component in connected_components(graph, labels):
+        if node in component:
+            return component
+    return frozenset()
+
+
+def degree_histogram(graph: PathPropertyGraph) -> Dict[int, int]:
+    """How many nodes have each total degree."""
+    counts = Counter(graph.degree(node) for node in graph.nodes)
+    return dict(sorted(counts.items()))
+
+
+def label_histogram(graph: PathPropertyGraph) -> Dict[str, int]:
+    """How many objects carry each label (nodes, edges and paths)."""
+    counts: Counter = Counter()
+    for obj in graph.objects():
+        for label in graph.labels(obj):
+            counts[label] += 1
+    return dict(sorted(counts.items()))
+
+
+def graph_summary(graph: PathPropertyGraph) -> str:
+    """A one-screen statistical summary of a graph."""
+    components = connected_components(graph)
+    histogram = degree_histogram(graph)
+    max_degree = max(histogram) if histogram else 0
+    lines = [
+        f"graph {graph.name or '<anonymous>'}: {graph.order()} nodes, "
+        f"{graph.size()} edges, {len(graph.paths)} stored paths",
+        f"components: {len(components)}"
+        + (f" (largest {len(components[0])})" if components else ""),
+        f"max degree: {max_degree}",
+        "labels: " + ", ".join(
+            f"{label} x{count}"
+            for label, count in label_histogram(graph).items()
+        ),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""The experiment harness regenerating every paper artifact.
+
+Usage::
+
+    python -m repro.bench            # run every experiment
+    python -m repro.bench table1     # run one (figure1, figure2, figure4,
+                                     # figure5, table1, complexity)
+"""
+
+from .harness import EXPERIMENTS, run_all, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_all", "run_experiment"]

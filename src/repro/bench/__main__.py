@@ -1,0 +1,29 @@
+"""CLI entry point: ``python -m repro.bench [experiment ...]``."""
+
+from __future__ import annotations
+
+import sys
+
+from .harness import EXPERIMENTS, run_all, run_experiment
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print(run_all())
+        return 0
+    unknown = [name for name in argv if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        print(f"available: {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in argv:
+        print("#" * 72)
+        print(f"# {name}")
+        print("#" * 72)
+        print(run_experiment(name))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

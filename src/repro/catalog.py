@@ -1,0 +1,127 @@
+"""The graph catalog: named graphs, views, tables and path views.
+
+G-CORE queries reference graphs by name (``ON social_graph``), create
+persistent views (``GRAPH VIEW``), and — with the Section 5 extensions —
+reference tables. The catalog is the engine-level registry for all of
+them. Tables referenced as graph locations are converted on demand into
+the "isolated-node graph" interpretation of Section 5 and cached.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TYPE_CHECKING
+
+from .errors import UnknownGraphError, UnknownTableError
+from .model.builder import GraphBuilder
+from .model.graph import PathPropertyGraph
+from .table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .lang import ast
+
+__all__ = ["Catalog", "table_as_graph"]
+
+
+def table_as_graph(table: Table, name: str = "") -> PathPropertyGraph:
+    """Interpret a table as a graph of isolated nodes (Section 5).
+
+    Each row becomes one unlabeled node whose properties are the row's
+    non-null column values.
+    """
+    builder = GraphBuilder(name=name or table.name)
+    for index, row in enumerate(table.rows):
+        properties = {
+            column: value
+            for column, value in zip(table.columns, row)
+            if value is not None
+        }
+        builder.add_node(f"{name or table.name or 'row'}#{index}",
+                         properties=properties)
+    return builder.build()
+
+
+class Catalog:
+    """Engine-level registry of graphs, views and tables."""
+
+    def __init__(self) -> None:
+        self._graphs: Dict[str, PathPropertyGraph] = {}
+        self._tables: Dict[str, Table] = {}
+        self._views: Dict[str, "ast.Query"] = {}
+        self._view_cache: Dict[str, PathPropertyGraph] = {}
+        self._table_graph_cache: Dict[str, PathPropertyGraph] = {}
+        self._path_views: Dict[str, "ast.PathClause"] = {}
+        self.default_graph_name: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def register_graph(
+        self, name: str, graph: PathPropertyGraph, default: bool = False
+    ) -> None:
+        """Register *graph* under *name*; optionally make it the default."""
+        self._graphs[name] = graph.with_name(name)
+        if default or self.default_graph_name is None:
+            self.default_graph_name = name
+
+    def register_table(self, name: str, table: Table) -> None:
+        """Register a table for the Section 5 extensions."""
+        self._tables[name] = table.with_name(name)
+        self._table_graph_cache.pop(name, None)
+
+    def register_view(self, name: str, query: "ast.Query",
+                      materialized: PathPropertyGraph) -> None:
+        """Register a GRAPH VIEW with its defining query and current result."""
+        self._views[name] = query
+        self._view_cache[name] = materialized.with_name(name)
+
+    def register_path_view(self, name: str, clause: "ast.PathClause") -> None:
+        """Register a persistent PATH view definition."""
+        self._path_views[name] = clause
+
+    # ------------------------------------------------------------------
+    def has_graph(self, name: str) -> bool:
+        return (
+            name in self._graphs
+            or name in self._view_cache
+            or name in self._tables
+        )
+
+    def graph(self, name: str) -> PathPropertyGraph:
+        """Resolve *name* to a graph: base graph, view, or table-as-graph."""
+        if name in self._graphs:
+            return self._graphs[name]
+        if name in self._view_cache:
+            return self._view_cache[name]
+        if name in self._tables:
+            if name not in self._table_graph_cache:
+                self._table_graph_cache[name] = table_as_graph(
+                    self._tables[name], name
+                )
+            return self._table_graph_cache[name]
+        raise UnknownGraphError(name)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def path_view(self, name: str) -> Optional["ast.PathClause"]:
+        return self._path_views.get(name)
+
+    def view_query(self, name: str) -> Optional["ast.Query"]:
+        return self._views.get(name)
+
+    def default_graph(self) -> Optional[PathPropertyGraph]:
+        if self.default_graph_name is None:
+            return None
+        return self.graph(self.default_graph_name)
+
+    # ------------------------------------------------------------------
+    def graph_names(self):
+        """All resolvable graph names (base graphs and views)."""
+        return sorted(set(self._graphs) | set(self._view_cache))
+
+    def table_names(self):
+        return sorted(self._tables)
+
+    def path_view_names(self):
+        return sorted(self._path_views)

@@ -1,0 +1,14 @@
+"""Datasets: the paper's toy instances and a scalable SNB-like generator."""
+
+from .generator import SnbParameters, generate_company_graph, generate_snb_graph
+from .paper import company_graph, figure2_graph, orders_table, social_graph
+
+__all__ = [
+    "SnbParameters",
+    "generate_company_graph",
+    "generate_snb_graph",
+    "company_graph",
+    "figure2_graph",
+    "orders_table",
+    "social_graph",
+]

@@ -1,0 +1,165 @@
+"""A deterministic, scalable LDBC-SNB-like data generator.
+
+The paper evaluates its examples on the LDBC Social Network Benchmark
+dataset (Figure 3 schema). The official generator is a JVM artifact; this
+module provides a seeded synthetic equivalent with the same entity and
+relationship types, so the benchmark harness can sweep graph sizes:
+
+* ``Person`` nodes with firstName/lastName, an optional (possibly
+  multi-valued) ``employer`` property, ``isLocatedIn`` a ``City``;
+* bidirectional ``knows`` pairs (ring + random chords — connected, with
+  small-world-ish shortcuts);
+* ``Tag`` nodes and ``hasInterest`` edges;
+* ``Company`` nodes (named like employers) in a side graph;
+* message threads: ``Post``/``Comment`` nodes with ``has_creator`` and
+  ``reply_of`` edges between pairs of acquainted persons.
+
+All randomness flows from one ``random.Random(seed)``, so a given
+(scale, seed) pair always produces the identical graph.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..model.builder import GraphBuilder
+from ..model.graph import PathPropertyGraph
+
+__all__ = ["SnbParameters", "generate_snb_graph", "generate_company_graph"]
+
+_FIRST_NAMES = (
+    "John", "Alice", "Celine", "Peter", "Frank", "Clara", "Mark", "Erik",
+    "Dana", "Ivan", "Mia", "Noah", "Olga", "Pia", "Quinn", "Rosa", "Sven",
+    "Tara", "Umar", "Vera", "Walt", "Xena", "Yuri", "Zoe",
+)
+_LAST_NAMES = (
+    "Doe", "Hall", "Mayer", "Smith", "Gold", "Stone", "Rivers", "Brook",
+    "Field", "Woods", "Hill", "Lake", "March", "North", "South", "West",
+)
+_CITIES = (
+    "Houston", "Austin", "Leipzig", "Santiago", "Amsterdam", "Eindhoven",
+    "Dresden", "Talca", "Walldorf", "Oslo",
+)
+_COMPANIES = ("Acme", "HAL", "CWI", "MIT", "Initech", "Globex", "Hooli")
+_TAGS = (
+    "Wagner", "Verdi", "Mozart", "Bach", "Puccini", "Mahler", "Handel",
+    "Brahms", "Chopin", "Liszt",
+)
+
+
+@dataclass(frozen=True)
+class SnbParameters:
+    """Size and shape knobs of the synthetic SNB graph."""
+
+    persons: int = 50
+    seed: int = 42
+    cities: int = 4
+    tags: int = 6
+    companies: int = 5
+    knows_chords: float = 1.5       # extra random knows pairs per person
+    interest_probability: float = 0.4
+    unemployed_probability: float = 0.15
+    multi_employer_probability: float = 0.1
+    threads_per_person: float = 0.8
+    max_thread_length: int = 5
+
+
+def generate_snb_graph(
+    parameters: Optional[SnbParameters] = None, **overrides
+) -> PathPropertyGraph:
+    """Generate a deterministic SNB-like social graph."""
+    if parameters is None:
+        parameters = SnbParameters(**overrides)
+    elif overrides:
+        raise TypeError("pass either SnbParameters or keyword overrides")
+    rng = random.Random(parameters.seed)
+    b = GraphBuilder(name=f"snb_{parameters.persons}_{parameters.seed}")
+
+    cities = [f"city{i}" for i in range(max(1, parameters.cities))]
+    for index, city in enumerate(cities):
+        b.add_node(city, labels=["City"],
+                   properties={"name": _CITIES[index % len(_CITIES)]})
+    tags = [f"tag{i}" for i in range(max(1, parameters.tags))]
+    for index, tag in enumerate(tags):
+        b.add_node(tag, labels=["Tag"],
+                   properties={"name": _TAGS[index % len(_TAGS)]})
+
+    companies = [_COMPANIES[i % len(_COMPANIES)]
+                 for i in range(max(1, parameters.companies))]
+
+    persons = [f"p{i}" for i in range(parameters.persons)]
+    for index, person in enumerate(persons):
+        properties: Dict[str, object] = {
+            "firstName": _FIRST_NAMES[index % len(_FIRST_NAMES)],
+            "lastName": _LAST_NAMES[(index // len(_FIRST_NAMES)) % len(_LAST_NAMES)],
+        }
+        roll = rng.random()
+        if roll >= parameters.unemployed_probability:
+            if rng.random() < parameters.multi_employer_probability:
+                employers = rng.sample(companies, k=min(2, len(companies)))
+                properties["employer"] = set(employers)
+            else:
+                properties["employer"] = rng.choice(companies)
+        b.add_node(person, labels=["Person"], properties=properties)
+        city = rng.choice(cities)
+        b.add_edge(person, city, edge_id=f"loc_{person}",
+                   labels=["isLocatedIn"])
+        for tag in tags:
+            if rng.random() < parameters.interest_probability / len(tags) * 2:
+                b.add_edge(person, tag, edge_id=f"int_{person}_{tag}",
+                           labels=["hasInterest"])
+
+    # knows topology: a ring for connectivity plus random chords.
+    knows_pairs: List[Tuple[str, str]] = []
+    seen_pairs = set()
+
+    def add_pair(a: str, c: str) -> None:
+        if a == c:
+            return
+        key = (a, c) if a < c else (c, a)
+        if key in seen_pairs:
+            return
+        seen_pairs.add(key)
+        knows_pairs.append(key)
+        b.add_edge(a, c, edge_id=f"k_{a}_{c}", labels=["knows"])
+        b.add_edge(c, a, edge_id=f"k_{c}_{a}", labels=["knows"])
+
+    for index in range(len(persons)):
+        add_pair(persons[index], persons[(index + 1) % len(persons)])
+    chord_count = int(parameters.knows_chords * len(persons))
+    for _ in range(chord_count):
+        add_pair(rng.choice(persons), rng.choice(persons))
+
+    # Message threads between acquainted pairs.
+    thread_count = int(parameters.threads_per_person * len(persons))
+    for thread_index in range(thread_count):
+        a, c = knows_pairs[rng.randrange(len(knows_pairs))]
+        length = rng.randint(2, max(2, parameters.max_thread_length))
+        authors = [a if i % 2 == 0 else c for i in range(length)]
+        previous = None
+        for msg_index, author in enumerate(authors):
+            mid = f"m{thread_index}_{msg_index}"
+            label = "Post" if msg_index == 0 else "Comment"
+            b.add_node(mid, labels=[label],
+                       properties={"content": f"msg {mid}"})
+            b.add_edge(mid, author, edge_id=f"cr_{mid}",
+                       labels=["has_creator"])
+            if previous is not None:
+                b.add_edge(mid, previous, edge_id=f"re_{mid}",
+                           labels=["reply_of"])
+            previous = mid
+    return b.build()
+
+
+def generate_company_graph(
+    parameters: Optional[SnbParameters] = None,
+) -> PathPropertyGraph:
+    """Company nodes matching the employers used by the person generator."""
+    parameters = parameters or SnbParameters()
+    b = GraphBuilder(name="companies")
+    for index in range(max(1, parameters.companies)):
+        name = _COMPANIES[index % len(_COMPANIES)]
+        b.add_node(f"c{index}", labels=["Company"], properties={"name": name})
+    return b.build()

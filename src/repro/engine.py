@@ -1,0 +1,216 @@
+"""The public entry point: :class:`GCoreEngine`.
+
+An engine holds a :class:`~repro.catalog.Catalog` of named graphs, tables
+and views, and executes G-CORE statements against it:
+
+>>> from repro import GCoreEngine
+>>> from repro.datasets import social_graph, company_graph
+>>> engine = GCoreEngine()
+>>> engine.register_graph("social_graph", social_graph(), default=True)
+>>> engine.register_graph("company_graph", company_graph())
+>>> g = engine.run("CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = 'Acme'")
+>>> sorted(g.nodes)
+['alice', 'john']
+
+``run`` returns a :class:`~repro.model.graph.PathPropertyGraph` for graph
+queries, a :class:`~repro.table.Table` for SELECT queries, and a
+:class:`~repro.eval.query.ViewResult` for GRAPH VIEW statements. The
+engine is composability in action: any returned graph can be registered
+and queried again (the paper's central design goal).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from .catalog import Catalog
+from .errors import SemanticError
+from .eval.context import EvalContext, IdFactory
+from .eval.match import evaluate_match
+from .eval.query import QueryResult, ViewResult, evaluate_statement
+from .lang import ast
+from .lang.lexer import tokenize
+from .lang.parser import Parser
+from .model.graph import PathPropertyGraph
+from .table import Table
+from .algebra.binding import BindingTable
+
+__all__ = ["GCoreEngine"]
+
+
+class GCoreEngine:
+    """An in-memory G-CORE query engine over a graph catalog."""
+
+    def __init__(self) -> None:
+        self.catalog = Catalog()
+        self._ids = IdFactory()
+
+    # ------------------------------------------------------------------
+    # Catalog management
+    # ------------------------------------------------------------------
+    def register_graph(
+        self, name: str, graph: PathPropertyGraph, default: bool = False
+    ) -> None:
+        """Register *graph* under *name*; the first graph becomes default."""
+        self.catalog.register_graph(name, graph, default=default)
+
+    def register_table(self, name: str, table: Table) -> None:
+        """Register a table for the Section 5 tabular extensions."""
+        self.catalog.register_table(name, table)
+
+    def register_path_view(self, text_or_clause) -> str:
+        """Register a persistent PATH view from source text or an AST node.
+
+        Accepts either ``"PATH name = (x)-[e:knows]->(y) COST ..."`` text
+        or a pre-parsed :class:`~repro.lang.ast.PathClause`.
+        """
+        if isinstance(text_or_clause, ast.PathClause):
+            clause = text_or_clause
+        else:
+            parser = Parser(tokenize(str(text_or_clause)))
+            clause = parser._path_clause()
+            parser.expect_eof()
+        self.catalog.register_path_view(clause.name, clause)
+        return clause.name
+
+    def graph(self, name: str) -> PathPropertyGraph:
+        """Look up a registered graph or materialized view by name."""
+        return self.catalog.graph(name)
+
+    def table(self, name: str) -> Table:
+        """Look up a registered table by name."""
+        return self.catalog.table(name)
+
+    def set_default_graph(self, name: str) -> None:
+        if not self.catalog.has_graph(name):
+            from .errors import UnknownGraphError
+
+            raise UnknownGraphError(name)
+        self.catalog.default_graph_name = name
+
+    def refresh_view(self, name: str) -> PathPropertyGraph:
+        """Re-evaluate a GRAPH VIEW against the current base graphs.
+
+        Views materialize at definition time; after re-registering a base
+        graph, call this to bring the view up to date. Returns the new
+        materialization.
+        """
+        query = self.catalog.view_query(name)
+        if query is None:
+            from .errors import UnknownGraphError
+
+            raise UnknownGraphError(name)
+        from .eval.query import evaluate_query
+
+        ctx = EvalContext(self.catalog, self._ids)
+        result = evaluate_query(query, ctx)
+        if not isinstance(result, PathPropertyGraph):
+            raise SemanticError(f"view {name!r} did not produce a graph")
+        self.catalog.register_view(name, query, result)
+        return result.with_name(name)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def parse(self, text: str) -> ast.Statement:
+        """Parse a single statement without executing it."""
+        parser = Parser(tokenize(text))
+        statement = parser.statement()
+        parser.expect_eof()
+        return statement
+
+    def run(
+        self,
+        text_or_statement: Union[str, ast.Statement],
+        params: Optional[dict] = None,
+    ) -> QueryResult:
+        """Execute one G-CORE statement and return its result.
+
+        Results are graphs (CONSTRUCT queries), tables (SELECT queries) or
+        :class:`~repro.eval.query.ViewResult` (GRAPH VIEW statements).
+        ``params`` supplies values for ``$name`` query parameters.
+        """
+        if isinstance(text_or_statement, (ast.Query, ast.GraphViewStmt)):
+            statement = text_or_statement
+        else:
+            statement = self.parse(text_or_statement)
+        ctx = EvalContext(self.catalog, self._ids)
+        if params:
+            ctx.params = dict(params)
+        return evaluate_statement(statement, ctx)
+
+    def run_script(self, text: str) -> List[QueryResult]:
+        """Execute a ``;``-separated sequence of statements."""
+        parser = Parser(tokenize(text))
+        results: List[QueryResult] = []
+        while parser._peek().kind != "EOF":
+            statement = parser.statement()
+            ctx = EvalContext(self.catalog, self._ids)
+            results.append(evaluate_statement(statement, ctx))
+            if not parser._accept("SEMI"):
+                break
+        parser.expect_eof()
+        return results
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    def bindings(self, match_text: str) -> BindingTable:
+        """Evaluate a standalone ``MATCH ...`` fragment to a binding table.
+
+        This mirrors the binding tables the paper prints in Section 3 and
+        is used heavily by the reproduction tests and benchmarks.
+        """
+        parser = Parser(tokenize(match_text))
+        match = parser._match_clause()
+        parser.expect_eof()
+        ctx = EvalContext(self.catalog, self._ids)
+        return evaluate_match(match, ctx)
+
+    def explain(self, text: str) -> str:
+        """A human-readable sketch of how a query would be evaluated."""
+        from .eval.match import decompose_chain, _AnonNamer
+        from .eval.planner import explain_order
+
+        statement = self.parse(text)
+        if isinstance(statement, ast.GraphViewStmt):
+            query = statement.query
+        else:
+            query = statement
+        lines: List[str] = []
+
+        def walk_body(body, indent: str) -> None:
+            if isinstance(body, ast.SetOpQuery):
+                lines.append(f"{indent}{body.op.upper()}")
+                walk_body(body.left, indent + "  ")
+                walk_body(body.right, indent + "  ")
+            elif isinstance(body, ast.GraphRefQuery):
+                lines.append(f"{indent}graph {body.name}")
+            elif isinstance(body, ast.BasicQuery):
+                head = "SELECT" if isinstance(body.head, ast.SelectClause) else "CONSTRUCT"
+                lines.append(f"{indent}{head}")
+                if body.from_table:
+                    lines.append(f"{indent}  FROM table {body.from_table}")
+                if body.match is not None:
+                    blocks = [body.match.block, *body.match.optionals]
+                    for b_index, block in enumerate(blocks):
+                        tag = "MATCH" if b_index == 0 else "OPTIONAL"
+                        lines.append(f"{indent}  {tag}")
+                        namer = _AnonNamer()
+                        for location in block.patterns:
+                            on = (
+                                location.on
+                                if isinstance(location.on, str)
+                                else "<subquery>" if location.on else "<default>"
+                            )
+                            lines.append(f"{indent}    pattern ON {on}")
+                            atoms = decompose_chain(location.chain, namer)
+                            lines.append(explain_order(atoms, set()))
+
+        for head in query.heads:
+            if isinstance(head, ast.PathClause):
+                lines.append(f"PATH VIEW {head.name}")
+            else:
+                lines.append(f"LOCAL GRAPH {head.name}")
+        walk_body(query.body, "")
+        return "\n".join(lines)

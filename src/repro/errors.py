@@ -1,0 +1,92 @@
+"""Exception hierarchy for the G-CORE reproduction.
+
+Every error raised by the library derives from :class:`GCoreError`, so
+applications can catch a single base class. Parse-time errors carry source
+positions; evaluation errors carry enough context to identify the failing
+clause.
+"""
+
+from __future__ import annotations
+
+
+class GCoreError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphModelError(GCoreError):
+    """Raised when a Path Property Graph violates Definition 2.1.
+
+    Examples: an edge whose endpoints are not nodes of the graph, a stored
+    path whose edge sequence is not a concatenation of adjacent edges, or
+    overlapping node/edge/path identifier namespaces.
+    """
+
+
+class LexerError(GCoreError):
+    """Raised when the query text contains an unrecognizable token."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (at line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(GCoreError):
+    """Raised when the query text does not conform to the G-CORE grammar."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        if line:
+            super().__init__(f"{message} (at line {line}, column {column})")
+        else:
+            super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class SemanticError(GCoreError):
+    """Raised for statically detectable semantic violations.
+
+    Examples: using a node variable where an edge variable is required,
+    binding an ALL-paths variable outside a graph projection, or an edge
+    construct over a bound edge whose endpoint variables are unbound.
+    """
+
+
+class UnknownGraphError(SemanticError):
+    """Raised when a query references a graph name not in the catalog."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown graph: {name!r}")
+        self.name = name
+
+
+class UnknownTableError(SemanticError):
+    """Raised when a query references a table name not in the catalog."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown table: {name!r}")
+        self.name = name
+
+
+class UnknownPathViewError(SemanticError):
+    """Raised when a regular path expression references an undefined view."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown path view: {name!r}")
+        self.name = name
+
+
+class EvaluationError(GCoreError):
+    """Raised when an expression or clause fails at evaluation time."""
+
+
+class CostError(EvaluationError):
+    """Raised when a PATH ... COST expression is non-numeric or not > 0.
+
+    Section 3 of the paper: "The specified cost must be numerical, and
+    larger than zero (otherwise a run-time error will be raised)".
+    """
+
+
+class ValidationError(GCoreError):
+    """Raised when schema validation of a graph fails."""

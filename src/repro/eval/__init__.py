@@ -1,0 +1,15 @@
+"""The G-CORE evaluator (Appendix A semantics)."""
+
+from .context import EvalContext, IdFactory
+from .expressions import ExpressionEvaluator
+from .query import QueryResult, ViewResult, evaluate_query, evaluate_statement
+
+__all__ = [
+    "EvalContext",
+    "IdFactory",
+    "ExpressionEvaluator",
+    "QueryResult",
+    "ViewResult",
+    "evaluate_query",
+    "evaluate_statement",
+]

@@ -1,0 +1,625 @@
+"""MATCH evaluation — Appendix A.2.
+
+A match block is decomposed into *atoms* — node, edge and path patterns —
+that are evaluated incrementally against a growing binding table. A small
+greedy planner (see :mod:`repro.eval.planner`) orders atoms so that
+selective, already-connected atoms run first; path atoms run once their
+source endpoint is bound, expanding via single-source product-graph
+searches.
+
+Semantics notes:
+
+* homomorphism semantics — no injectivity constraints (Section 6);
+* anonymous pattern elements are existential: they do not contribute
+  binding columns (internally they get hidden names, projected away);
+* ``OPTIONAL`` blocks left-outer-join in syntactic order (A.2);
+* ``WHERE`` filters; implicit existential patterns inside WHERE evaluate
+  the pattern seeded with the current row (A.2's `J.K_{Omega,G}`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..algebra.binding import Binding, BindingTable
+from ..algebra.ops import table_left_join
+from ..errors import EvaluationError, SemanticError
+from ..lang import ast
+from ..model.graph import ObjectId, PathPropertyGraph
+from ..model.values import gcore_equals
+from ..paths.automaton import NFA, compile_regex, regex_view_names
+from ..paths.product import PathFinder
+from ..paths.walk import AllPathsHandle, Walk
+from .analysis import analyze_match
+from .context import EvalContext
+from .expressions import ExpressionEvaluator
+from .planner import order_atoms
+
+__all__ = [
+    "evaluate_match",
+    "evaluate_block",
+    "chain_matches",
+    "decompose_chain",
+    "NodeAtom",
+    "EdgeAtom",
+    "PathAtom",
+]
+
+ANON_PREFIX = "#anon"
+
+_NFA_CACHE: Dict[ast.RegexExpr, NFA] = {}
+
+
+def _nfa_for(regex: Optional[ast.RegexExpr]) -> NFA:
+    key = regex if regex is not None else ast.RStar(ast.RAnyEdge())
+    if key not in _NFA_CACHE:
+        _NFA_CACHE[key] = compile_regex(key)
+    return _NFA_CACHE[key]
+
+
+def _sorted_ids(ids: Iterable[ObjectId]) -> List[ObjectId]:
+    return sorted(ids, key=str)
+
+
+def _label_candidates(
+    universe: FrozenSet[ObjectId],
+    labels: Tuple[Tuple[str, ...], ...],
+    index,
+) -> List[ObjectId]:
+    """Candidates satisfying a conjunction of label-disjunction groups."""
+    if not labels:
+        return _sorted_ids(universe)
+    current: Optional[Set[ObjectId]] = None
+    for group in labels:
+        group_set: Set[ObjectId] = set()
+        for label in group:
+            group_set |= index(label)
+        current = group_set if current is None else current & group_set
+        if not current:
+            return []
+    return _sorted_ids(current or set())
+
+
+def _satisfies_labels(
+    graph_labels: FrozenSet[str], labels: Tuple[Tuple[str, ...], ...]
+) -> bool:
+    return all(any(l in graph_labels for l in group) for group in labels)
+
+
+# ---------------------------------------------------------------------------
+# Atoms
+# ---------------------------------------------------------------------------
+
+class NodeAtom:
+    """A node pattern bound to a variable (named or hidden)."""
+
+    kind = "node"
+
+    def __init__(self, pattern: ast.NodePattern, var: str) -> None:
+        if pattern.copy_of is not None:
+            raise SemanticError("copy patterns (=x) are CONSTRUCT-only")
+        self.pattern = pattern
+        self.var = var
+
+    def binds(self) -> FrozenSet[str]:
+        return frozenset(
+            {self.var, *(v for _, v in self.pattern.prop_binds)}
+        )
+
+    def requires(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def extend(
+        self,
+        table: BindingTable,
+        graph: PathPropertyGraph,
+        ev: ExpressionEvaluator,
+    ) -> BindingTable:
+        pattern = self.pattern
+        out_rows: List[Binding] = []
+        candidate_cache: Optional[List[ObjectId]] = None
+        for row in table:
+            if self.var in row:
+                candidates = [row[self.var]]
+            else:
+                if candidate_cache is None:
+                    candidate_cache = _label_candidates(
+                        graph.nodes, pattern.labels, graph.nodes_with_label
+                    )
+                candidates = candidate_cache
+            for node in candidates:
+                if node not in graph.nodes:
+                    continue
+                if not _satisfies_labels(graph.labels(node), pattern.labels):
+                    continue
+                if not _property_tests_pass(graph, node, pattern.prop_tests, ev, row):
+                    continue
+                base = row if self.var in row else row.extend(self.var, node)
+                out_rows.extend(
+                    _unroll_property_binds(graph, node, pattern.prop_binds, base)
+                )
+        columns = tuple(table.columns) + tuple(self.binds())
+        return BindingTable(columns, out_rows)
+
+
+class EdgeAtom:
+    """An edge pattern between two node variables."""
+
+    kind = "edge"
+
+    def __init__(
+        self, pattern: ast.EdgePattern, src_var: str, dst_var: str, var: Optional[str]
+    ) -> None:
+        if pattern.copy_of is not None:
+            raise SemanticError("copy patterns -[=y]- are CONSTRUCT-only")
+        self.pattern = pattern
+        self.src_var = src_var
+        self.dst_var = dst_var
+        self.var = var  # None = anonymous (existential, not bound)
+
+    def binds(self) -> FrozenSet[str]:
+        names = {self.src_var, self.dst_var}
+        if self.var:
+            names.add(self.var)
+        names.update(v for _, v in self.pattern.prop_binds)
+        return frozenset(names)
+
+    def requires(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def _orientations(self) -> List[Tuple[str, str]]:
+        if self.pattern.direction == ast.OUT:
+            return [(self.src_var, self.dst_var)]
+        if self.pattern.direction == ast.IN:
+            return [(self.dst_var, self.src_var)]
+        return [(self.src_var, self.dst_var), (self.dst_var, self.src_var)]
+
+    def extend(
+        self,
+        table: BindingTable,
+        graph: PathPropertyGraph,
+        ev: ExpressionEvaluator,
+    ) -> BindingTable:
+        pattern = self.pattern
+        out_rows: List[Binding] = []
+        scan_cache: Optional[List[ObjectId]] = None
+        for row in table:
+            for from_var, to_var in self._orientations():
+                if self.var and self.var in row:
+                    candidates: Iterable[ObjectId] = [row[self.var]]
+                elif from_var in row:
+                    source = row[from_var]
+                    candidates = graph.out_edges(source) if source in graph.nodes else ()
+                elif to_var in row:
+                    target = row[to_var]
+                    candidates = graph.in_edges(target) if target in graph.nodes else ()
+                else:
+                    if scan_cache is None:
+                        scan_cache = _label_candidates(
+                            graph.edges, pattern.labels, graph.edges_with_label
+                        )
+                    candidates = scan_cache
+                for edge in _sorted_ids(candidates):
+                    if edge not in graph.edges:
+                        continue
+                    if not _satisfies_labels(graph.labels(edge), pattern.labels):
+                        continue
+                    src, dst = graph.endpoints(edge)
+                    if from_var in row and row[from_var] != src:
+                        continue
+                    if to_var in row and row[to_var] != dst:
+                        continue
+                    if not _property_tests_pass(
+                        graph, edge, pattern.prop_tests, ev, row
+                    ):
+                        continue
+                    extended = row
+                    if from_var not in extended:
+                        extended = extended.extend(from_var, src)
+                    if to_var not in extended:
+                        extended = extended.extend(to_var, dst)
+                    if self.var and self.var not in extended:
+                        extended = extended.extend(self.var, edge)
+                    out_rows.extend(
+                        _unroll_property_binds(
+                            graph, edge, pattern.prop_binds, extended
+                        )
+                    )
+        columns = tuple(table.columns) + tuple(self.binds())
+        return BindingTable(columns, out_rows)
+
+
+class PathAtom:
+    """A path pattern between two node variables (Appendix A.2)."""
+
+    kind = "path"
+
+    def __init__(
+        self, pattern: ast.PathPatternElem, src_var: str, dst_var: str
+    ) -> None:
+        self.pattern = pattern
+        self.src_var = src_var
+        self.dst_var = dst_var
+
+    @property
+    def from_var(self) -> str:
+        return self.dst_var if self.pattern.direction == ast.IN else self.src_var
+
+    @property
+    def to_var(self) -> str:
+        return self.src_var if self.pattern.direction == ast.IN else self.dst_var
+
+    def binds(self) -> FrozenSet[str]:
+        names = {self.src_var, self.dst_var}
+        if self.pattern.var:
+            names.add(self.pattern.var)
+        if self.pattern.cost_var:
+            names.add(self.pattern.cost_var)
+        return frozenset(names)
+
+    def requires(self) -> FrozenSet[str]:
+        return frozenset()
+
+    # ------------------------------------------------------------------
+    def extend(
+        self,
+        table: BindingTable,
+        graph: PathPropertyGraph,
+        ev: ExpressionEvaluator,
+        ctx: EvalContext,
+    ) -> BindingTable:
+        if self.pattern.direction == ast.UNDIRECTED:
+            raise SemanticError("path patterns must be directed (-/ /-> or <-/ /-)")
+        if self.pattern.stored:
+            return self._extend_stored(table, graph, ev)
+        return self._extend_computed(table, graph, ev, ctx)
+
+    # -- stored paths ------------------------------------------------------
+    def _extend_stored(
+        self,
+        table: BindingTable,
+        graph: PathPropertyGraph,
+        ev: ExpressionEvaluator,
+    ) -> BindingTable:
+        pattern = self.pattern
+        candidates = _label_candidates(
+            graph.paths, pattern.labels, graph.paths_with_label
+        )
+        out_rows: List[Binding] = []
+        for row in table:
+            for pid in candidates:
+                sequence = graph.path_sequence(pid)
+                start, end = sequence[0], sequence[-1]
+                if self.from_var in row and row[self.from_var] != start:
+                    continue
+                if self.to_var in row and row[self.to_var] != end:
+                    continue
+                if pattern.var and pattern.var in row and row[pattern.var] != pid:
+                    continue
+                extended = row
+                if self.from_var not in extended:
+                    extended = extended.extend(self.from_var, start)
+                if self.to_var not in extended:
+                    extended = extended.extend(self.to_var, end)
+                if pattern.var and pattern.var not in extended:
+                    extended = extended.extend(pattern.var, pid)
+                if pattern.cost_var:
+                    extended = extended.extend(
+                        pattern.cost_var, len(sequence) // 2
+                    )
+                out_rows.append(extended)
+        columns = tuple(table.columns) + tuple(self.binds())
+        return BindingTable(columns, out_rows)
+
+    # -- computed paths ------------------------------------------------------
+    def _finder(
+        self, graph: PathPropertyGraph, ctx: EvalContext
+    ) -> PathFinder:
+        nfa = _nfa_for(self.pattern.regex)
+        views = {
+            name: ctx.segments_for(name, graph)
+            for name in regex_view_names(self.pattern.regex)
+        }
+        return PathFinder(graph, nfa, views)
+
+    def _extend_computed(
+        self,
+        table: BindingTable,
+        graph: PathPropertyGraph,
+        ev: ExpressionEvaluator,
+        ctx: EvalContext,
+    ) -> BindingTable:
+        pattern = self.pattern
+        finder = self._finder(graph, ctx)
+        from_var, to_var = self.from_var, self.to_var
+        out_rows: List[Binding] = []
+
+        # Group rows by the source endpoint so each distinct source runs a
+        # single single-source search.
+        rows_by_source: Dict[Any, List[Binding]] = defaultdict(list)
+        unbound_rows: List[Binding] = []
+        for row in table:
+            if from_var in row:
+                rows_by_source[row[from_var]].append(row)
+            else:
+                unbound_rows.append(row)
+        if unbound_rows:
+            # Source endpoint entirely unconstrained: try every node.
+            for row in unbound_rows:
+                for node in _sorted_ids(graph.nodes):
+                    rows_by_source[node].append(row.extend(from_var, node))
+
+        for source in sorted(rows_by_source, key=str):
+            rows = rows_by_source[source]
+            if source not in graph.nodes:
+                continue
+            if pattern.mode == "reach":
+                reachable = finder.reachable_from(source)
+                for row in rows:
+                    if to_var in row:
+                        if row[to_var] in reachable:
+                            out_rows.append(row)
+                    else:
+                        for target in _sorted_ids(reachable):
+                            out_rows.append(row.extend(to_var, target))
+            elif pattern.mode == "all":
+                for row in rows:
+                    targets = (
+                        [row[to_var]]
+                        if to_var in row
+                        else _sorted_ids(graph.nodes)
+                    )
+                    for target in targets:
+                        nodes, edges = finder.all_paths_projection(source, target)
+                        if not nodes:
+                            continue
+                        handle = AllPathsHandle(
+                            source, target, tuple(_sorted_ids(nodes)),
+                            tuple(_sorted_ids(edges)),
+                        )
+                        extended = row
+                        if to_var not in extended:
+                            extended = extended.extend(to_var, target)
+                        if pattern.var:
+                            extended = extended.extend(pattern.var, handle)
+                        out_rows.append(extended)
+            elif pattern.count == 1:
+                bound_targets = {
+                    row[to_var] for row in rows if to_var in row
+                }
+                all_targets_bound = all(to_var in row for row in rows)
+                walks = finder.shortest_from(
+                    source, set(bound_targets) if all_targets_bound else None
+                )
+                for row in rows:
+                    if to_var in row:
+                        walk = walks.get(row[to_var])
+                        if walk is not None:
+                            out_rows.append(self._bind_walk(row, walk))
+                    else:
+                        for target in sorted(walks, key=str):
+                            extended = row.extend(to_var, target)
+                            out_rows.append(
+                                self._bind_walk(extended, walks[target])
+                            )
+            else:
+                for row in rows:
+                    if to_var in row:
+                        targets = [row[to_var]]
+                    else:
+                        targets = sorted(
+                            finder.shortest_from(source), key=str
+                        )
+                    for target in targets:
+                        for walk in finder.k_shortest(
+                            source, target, pattern.count
+                        ):
+                            extended = row
+                            if to_var not in extended:
+                                extended = extended.extend(to_var, target)
+                            out_rows.append(self._bind_walk(extended, walk))
+        columns = tuple(table.columns) + tuple(self.binds())
+        return BindingTable(columns, out_rows)
+
+    def _bind_walk(self, row: Binding, walk: Walk) -> Binding:
+        pattern = self.pattern
+        if pattern.var and pattern.var not in row:
+            row = row.extend(pattern.var, walk)
+        if pattern.cost_var and pattern.cost_var not in row:
+            cost = walk.cost
+            if isinstance(cost, float) and cost.is_integer():
+                cost = int(cost)
+            row = row.extend(pattern.cost_var, cost)
+        return row
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+def _property_tests_pass(
+    graph: PathPropertyGraph,
+    obj: ObjectId,
+    tests: Tuple[Tuple[str, ast.Expr], ...],
+    ev: ExpressionEvaluator,
+    row: Binding,
+) -> bool:
+    for key, expr in tests:
+        expected = ev.evaluate(expr, row)
+        actual = graph.property(obj, key)
+        if not (gcore_equals(actual, expected) or
+                (not isinstance(expected, frozenset) and expected in actual)):
+            return False
+    return True
+
+
+def _unroll_property_binds(
+    graph: PathPropertyGraph,
+    obj: ObjectId,
+    binds: Tuple[Tuple[str, str], ...],
+    row: Binding,
+) -> List[Binding]:
+    """Unroll multi-valued properties into per-value bindings (Section 3)."""
+    rows = [row]
+    for key, bind_var in binds:
+        values = graph.property(obj, key)
+        next_rows: List[Binding] = []
+        for current in rows:
+            if bind_var in current:
+                if current[bind_var] in values:
+                    next_rows.append(current)
+            else:
+                for value in sorted(values, key=lambda v: (str(type(v)), str(v))):
+                    next_rows.append(current.extend(bind_var, value))
+        rows = next_rows
+        if not rows:
+            break
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Chain decomposition
+# ---------------------------------------------------------------------------
+
+class _AnonNamer:
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+
+    def fresh(self) -> str:
+        return f"{ANON_PREFIX}{next(self._counter)}"
+
+
+def decompose_chain(
+    chain: ast.Chain,
+    namer: _AnonNamer,
+    name_anonymous_edges: bool = False,
+) -> List[object]:
+    """Split a chain into Node/Edge/Path atoms with resolved endpoints."""
+    atoms: List[object] = []
+    node_vars: List[str] = []
+    for element in chain.nodes():
+        var = element.var or namer.fresh()
+        node_vars.append(var)
+        atoms.append(NodeAtom(element, var))
+    for index, connector in enumerate(chain.connectors()):
+        src_var = node_vars[index]
+        dst_var = node_vars[index + 1]
+        if isinstance(connector, ast.EdgePattern):
+            var = connector.var
+            if var is None and name_anonymous_edges:
+                var = namer.fresh()
+            atoms.append(EdgeAtom(connector, src_var, dst_var, var))
+        elif isinstance(connector, ast.PathPatternElem):
+            atoms.append(PathAtom(connector, src_var, dst_var))
+        else:  # pragma: no cover - parser guarantees the alternation
+            raise SemanticError(f"unexpected chain element: {connector!r}")
+    return atoms
+
+
+# ---------------------------------------------------------------------------
+# Block and clause evaluation
+# ---------------------------------------------------------------------------
+
+def _resolve_location(
+    location: ast.PatternLocation,
+    ctx: EvalContext,
+    block_default: Optional[PathPropertyGraph] = None,
+) -> PathPropertyGraph:
+    if location.on is None:
+        if block_default is not None:
+            return block_default
+        if ctx.current_graph is not None:
+            return ctx.current_graph
+        return ctx.default_graph()
+    if isinstance(location.on, str):
+        return ctx.resolve_graph(location.on)
+    from .query import evaluate_query  # local import: cycle
+
+    result = evaluate_query(location.on, ctx.child())
+    if not isinstance(result, PathPropertyGraph):
+        raise EvaluationError("ON (subquery) must produce a graph")
+    return result
+
+
+def _block_default_graph(
+    block: ast.MatchBlock, ctx: EvalContext
+) -> Optional[PathPropertyGraph]:
+    """The graph ON-less patterns of *block* fall back to.
+
+    The paper writes ``MATCH p1, p2 ON g`` with the trailing ON scoping
+    the whole pattern list (final query of Section 3), so patterns
+    without their own ON inherit the block's first specified location.
+    """
+    for location in block.patterns:
+        if location.on is not None:
+            return _resolve_location(location, ctx)
+    return None
+
+
+def evaluate_block(
+    block: ast.MatchBlock,
+    ctx: EvalContext,
+    seed: Optional[BindingTable] = None,
+    keep_anonymous: bool = False,
+    name_anonymous_edges: bool = False,
+) -> BindingTable:
+    """Evaluate one pattern block (the MATCH body or an OPTIONAL block)."""
+    table = seed if seed is not None else BindingTable.unit()
+    namer = _AnonNamer()
+    ev = ExpressionEvaluator(ctx)
+    primary_graph: Optional[PathPropertyGraph] = None
+    block_default = _block_default_graph(block, ctx)
+    for location in block.patterns:
+        graph = _resolve_location(location, ctx, block_default)
+        if primary_graph is None:
+            primary_graph = graph
+            ctx.current_graph = graph
+        ctx.touch_graph(graph)
+        atoms = decompose_chain(location.chain, namer, name_anonymous_edges)
+        ordered = order_atoms(atoms, set(table.columns),
+                              naive=ctx.naive_planner)
+        for atom in ordered:
+            if isinstance(atom, PathAtom):
+                table = atom.extend(table, graph, ev, ctx)
+            else:
+                table = atom.extend(table, graph, ev)
+            if not table:
+                break
+    if block.where is not None and table:
+        table = table.filter(lambda row: ev.evaluate_predicate(block.where, row))
+    if not keep_anonymous:
+        hidden = [c for c in table.columns if c.startswith(ANON_PREFIX)]
+        if hidden:
+            table = table.drop(hidden)
+    return table
+
+
+def evaluate_match(
+    match: Optional[ast.MatchClause],
+    ctx: EvalContext,
+    seed: Optional[BindingTable] = None,
+) -> BindingTable:
+    """Evaluate a full MATCH clause: main block then OPTIONAL blocks (A.2)."""
+    if match is None:
+        return seed if seed is not None else BindingTable.unit()
+    analyze_match(match)
+    table = evaluate_block(match.block, ctx, seed)
+    for optional in match.optionals:
+        extended = evaluate_block(optional, ctx, seed=table)
+        table = table_left_join(table, extended)
+    return table
+
+
+def chain_matches(chain: ast.Chain, ctx: EvalContext, row: Binding) -> bool:
+    """Does *chain* match, given the bindings of *row*? (WHERE predicates.)"""
+    variables = set()
+    for element in chain.elements:
+        var = getattr(element, "var", None)
+        if var:
+            variables.add(var)
+    seed_row = row.project([v for v in variables if v in row])
+    seed = BindingTable(tuple(seed_row.domain), [seed_row])
+    block = ast.MatchBlock((ast.PatternLocation(chain, None),), None)
+    return bool(evaluate_block(block, ctx, seed=seed))

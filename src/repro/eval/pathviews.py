@@ -1,0 +1,133 @@
+"""PATH clause views — Appendix A.4.
+
+A ``PATH name = <walk pattern>[, <graph patterns>] [WHERE c] [COST f]``
+clause defines a *binary view*: a set of (source, target) segments, each
+with a witness walk and a strictly positive cost. Regular path
+expressions reference the view as ``~name``; the product-graph search
+then traverses whole segments at once, which is what makes weighted
+shortest paths over complex patterns Dijkstra-evaluable (Section 3,
+"Powerful Path Patterns").
+
+Materialization evaluates the clause's patterns as an ordinary match
+block over the target graph: the first chain is the *walk pattern* whose
+first/last nodes delimit the segment and whose matched elements form the
+witness walk; the remaining chains (the non-linear part, footnote 3) are
+join constraints that may bind variables used by the COST expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..errors import CostError, SemanticError
+from ..lang import ast
+from ..model.graph import ObjectId, PathPropertyGraph
+from ..model.values import as_scalar
+from ..paths.product import ViewSegment
+from ..paths.walk import Walk
+from .context import EvalContext
+from .expressions import ExpressionEvaluator
+
+__all__ = ["materialize_path_view"]
+
+
+def _name_walk_chain(chain: ast.Chain, prefix: str) -> ast.Chain:
+    """Give every anonymous element of the walk chain an internal name."""
+    elements: List[object] = []
+    counter = 0
+    for element in chain.elements:
+        var = getattr(element, "var", None)
+        if var is None:
+            elements.append(replace(element, var=f"{prefix}{counter}"))
+            counter += 1
+        else:
+            elements.append(element)
+    return ast.Chain(tuple(elements))
+
+
+def materialize_path_view(
+    clause: ast.PathClause,
+    graph: PathPropertyGraph,
+    ctx: EvalContext,
+) -> Mapping[ObjectId, Tuple[ViewSegment, ...]]:
+    """Evaluate *clause* over *graph* into a source-indexed segment table."""
+    from .match import evaluate_block  # local import: cycle
+
+    if not clause.chains:
+        raise SemanticError(f"PATH {clause.name} has no pattern")
+    walk_chain = _name_walk_chain(clause.chains[0], f"#pv_{clause.name}_")
+    if len(walk_chain.elements) < 3:
+        raise SemanticError(
+            f"PATH {clause.name}: the walk pattern needs at least one edge"
+        )
+    patterns = [ast.PatternLocation(walk_chain, None)]
+    patterns.extend(
+        ast.PatternLocation(chain, None) for chain in clause.chains[1:]
+    )
+    block = ast.MatchBlock(tuple(patterns), clause.where)
+
+    sub_ctx = ctx.child()
+    sub_ctx.current_graph = graph
+    table = evaluate_block(
+        block, sub_ctx, keep_anonymous=True, name_anonymous_edges=True
+    )
+
+    ev = ExpressionEvaluator(sub_ctx)
+    best: Dict[Tuple[ObjectId, ...], float] = {}
+    for row in table:
+        sequence = _witness_sequence(walk_chain, row, graph)
+        if clause.cost is not None:
+            cost = as_scalar(ev.evaluate(clause.cost, row))
+            if isinstance(cost, bool) or not isinstance(cost, (int, float)):
+                raise CostError(
+                    f"PATH {clause.name}: COST must be numeric, got {cost!r}"
+                )
+            cost = float(cost)
+        else:
+            cost = float(len(sequence) // 2)  # default: hop count
+        if cost <= 0:
+            raise CostError(
+                f"PATH {clause.name}: COST must be > 0, got {cost}"
+            )
+        existing = best.get(sequence)
+        if existing is None or cost < existing:
+            best[sequence] = cost
+
+    by_source: Dict[ObjectId, List[ViewSegment]] = {}
+    for sequence, cost in best.items():
+        by_source.setdefault(sequence[0], []).append(
+            ViewSegment(target=sequence[-1], cost=cost, sequence=sequence)
+        )
+    return {
+        source: tuple(
+            sorted(
+                segments,
+                key=lambda s: (s.cost, tuple(str(x) for x in s.sequence)),
+            )
+        )
+        for source, segments in by_source.items()
+    }
+
+
+def _witness_sequence(
+    chain: ast.Chain, row, graph: PathPropertyGraph
+) -> Tuple[ObjectId, ...]:
+    """Reassemble the witness walk from the bound chain elements."""
+    elements = chain.elements
+    sequence: List[ObjectId] = [row[elements[0].var]]
+    for index in range(1, len(elements), 2):
+        connector = elements[index]
+        node_var = elements[index + 1].var
+        if isinstance(connector, ast.EdgePattern):
+            sequence.append(row[connector.var])
+            sequence.append(row[node_var])
+        elif isinstance(connector, ast.PathPatternElem):
+            value = row[connector.var]
+            if isinstance(value, Walk):
+                sequence.extend(value.sequence[1:])
+            else:
+                sequence.extend(graph.path_sequence(value)[1:])
+        else:  # pragma: no cover
+            raise SemanticError("malformed walk pattern")
+    return tuple(sequence)

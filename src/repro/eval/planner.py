@@ -1,0 +1,86 @@
+"""A greedy atom-ordering planner for MATCH evaluation.
+
+The formal semantics joins every pattern's binding set; the order of
+evaluation only affects performance. This planner implements the standard
+"expand from what is bound" heuristic:
+
+* atoms over already-bound variables run first (they only filter),
+* selective atoms (labels, property tests) run before unconstrained ones,
+* edges run once an endpoint is bound (index lookups instead of scans),
+* path atoms run once their source endpoint is bound (one single-source
+  product-graph search per distinct source).
+
+``naive=True`` disables the reordering (pure syntax order); the ablation
+benchmark EXP-B1 measures the difference.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set
+
+__all__ = ["order_atoms", "atom_score", "explain_order"]
+
+
+def atom_score(atom, bound: Set[str]) -> int:
+    """The greedy priority of *atom* given already-bound variables."""
+    kind = atom.kind
+    if kind == "node":
+        pattern = atom.pattern
+        if atom.var in bound:
+            return 100
+        selective = bool(pattern.labels) + bool(pattern.prop_tests)
+        if selective:
+            return 55 + 5 * selective
+        return 5
+    if kind == "edge":
+        pattern = atom.pattern
+        if atom.var and atom.var in bound:
+            return 95
+        endpoints_bound = (atom.src_var in bound) + (atom.dst_var in bound)
+        if endpoints_bound == 2:
+            return 90
+        if endpoints_bound == 1:
+            return 70
+        if pattern.labels or pattern.prop_tests:
+            return 40
+        return 15
+    if kind == "path":
+        if atom.pattern.stored:
+            if atom.pattern.var and atom.pattern.var in bound:
+                return 85
+            if atom.from_var in bound:
+                return 65
+            return 30
+        if atom.from_var in bound:
+            return 50
+        return 2
+    return 0
+
+
+def order_atoms(atoms: Sequence[object], bound: Iterable[str],
+                naive: bool = False) -> List[object]:
+    """Order *atoms* for evaluation, starting from *bound* variables."""
+    if naive:
+        return list(atoms)
+    bound_set: Set[str] = set(bound)
+    remaining = list(atoms)
+    ordered: List[object] = []
+    while remaining:
+        best = max(remaining, key=lambda atom: atom_score(atom, bound_set))
+        remaining.remove(best)
+        ordered.append(best)
+        bound_set |= best.binds()
+    return ordered
+
+
+def explain_order(atoms: Sequence[object], bound: Iterable[str]) -> str:
+    """A human-readable trace of the chosen order (EXPLAIN support)."""
+    bound_set: Set[str] = set(bound)
+    lines: List[str] = []
+    for atom in order_atoms(atoms, bound_set):
+        score = atom_score(atom, bound_set)
+        described = getattr(atom, "var", None) or getattr(atom, "pattern", None)
+        lines.append(f"  {atom.kind:<5} score={score:<3} binds={sorted(atom.binds())}")
+        bound_set |= atom.binds()
+        del described
+    return "\n".join(lines)

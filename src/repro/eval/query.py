@@ -1,0 +1,135 @@
+"""Top-level query evaluation: head clauses, set operations, basic queries.
+
+This module stitches the pieces together, following the grammar of
+Section 4: a query is a sequence of PATH / GRAPH head clauses followed by
+a *full graph query* — a tree of UNION / INTERSECT / MINUS over basic
+queries (CONSTRUCT/SELECT over MATCH/FROM) and graph references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Union
+
+from ..algebra.binding import Binding, BindingTable
+from ..errors import EvaluationError, SemanticError
+from ..lang import ast
+from ..model.graph import PathPropertyGraph
+from ..model.setops import graph_difference, graph_intersect, graph_union
+from ..table import Table
+from .analysis import analyze_match
+from .construct import evaluate_construct
+from .context import EvalContext
+from .match import evaluate_match
+from .select import evaluate_select
+
+__all__ = ["QueryResult", "ViewResult", "evaluate_statement", "evaluate_query"]
+
+
+@dataclass(frozen=True)
+class ViewResult:
+    """The result of executing a GRAPH VIEW statement."""
+
+    name: str
+    graph: PathPropertyGraph
+
+
+QueryResult = Union[PathPropertyGraph, Table, ViewResult]
+
+
+def evaluate_statement(statement: ast.Statement, ctx: EvalContext) -> QueryResult:
+    """Evaluate a statement: a query, or a GRAPH VIEW registration."""
+    if isinstance(statement, ast.GraphViewStmt):
+        result = evaluate_query(statement.query, ctx)
+        if not isinstance(result, PathPropertyGraph):
+            raise SemanticError("a GRAPH VIEW must be defined by a graph query")
+        ctx.catalog.register_view(statement.name, statement.query, result)
+        return ViewResult(statement.name, result.with_name(statement.name))
+    return evaluate_query(statement, ctx)
+
+
+def evaluate_query(
+    query: ast.Query,
+    ctx: EvalContext,
+    seed: Optional[Binding] = None,
+) -> Union[PathPropertyGraph, Table]:
+    """Evaluate a query; *seed* carries correlated outer bindings (A.2)."""
+    for head in query.heads:
+        if isinstance(head, ast.PathClause):
+            ctx.local_path_views[head.name] = head
+        elif isinstance(head, ast.GraphClause):
+            result = evaluate_query(head.query, ctx.child())
+            if not isinstance(result, PathPropertyGraph):
+                raise SemanticError(
+                    f"GRAPH {head.name} AS (...) must produce a graph"
+                )
+            ctx.local_graphs[head.name] = result.with_name(head.name)
+        else:  # pragma: no cover - parser guarantees
+            raise SemanticError(f"unknown head clause: {head!r}")
+    return _evaluate_body(query.body, ctx, seed)
+
+
+def _evaluate_body(
+    body: ast.QueryBody, ctx: EvalContext, seed: Optional[Binding]
+) -> Union[PathPropertyGraph, Table]:
+    if isinstance(body, ast.GraphRefQuery):
+        return ctx.resolve_graph(body.name)
+    if isinstance(body, ast.SetOpQuery):
+        left = _evaluate_body(body.left, ctx, seed)
+        right = _evaluate_body(body.right, ctx, seed)
+        if not isinstance(left, PathPropertyGraph) or not isinstance(
+            right, PathPropertyGraph
+        ):
+            raise SemanticError(
+                "set operations (UNION/INTERSECT/MINUS) apply to graphs only"
+            )
+        if body.op == "union":
+            return graph_union(left, right)
+        if body.op == "intersect":
+            return graph_intersect(left, right)
+        if body.op == "minus":
+            return graph_difference(left, right)
+        raise SemanticError(f"unknown set operation: {body.op}")
+    if isinstance(body, ast.BasicQuery):
+        return _evaluate_basic(body, ctx, seed)
+    raise SemanticError(f"unknown query body: {body!r}")
+
+
+def _evaluate_basic(
+    basic: ast.BasicQuery, ctx: EvalContext, seed: Optional[Binding]
+) -> Union[PathPropertyGraph, Table]:
+    declared: FrozenSet[str]
+    if basic.from_table is not None:
+        table = ctx.catalog.table(basic.from_table)
+        rows = [
+            Binding(dict(zip(table.columns, row_values)))
+            for row_values in table.rows
+        ]
+        omega = BindingTable(table.columns, rows)
+        declared = frozenset(table.columns)
+        if seed is not None:
+            shared = [v for v in seed.domain if v in omega.columns]
+            if shared:
+                seed_row = seed.project(shared)
+                omega = omega.filter(lambda r: r.compatible(seed_row))
+    elif basic.match is not None:
+        sorts = analyze_match(basic.match)
+        declared = frozenset(sorts)
+        seed_table: Optional[BindingTable] = None
+        if seed is not None:
+            # Outer variables act as parameters of the correlated subquery
+            # (A.2): seed the whole outer binding — shared pattern
+            # variables join on identity, and WHERE conditions may read
+            # any outer variable.
+            seed_table = BindingTable(tuple(sorted(seed.domain)), [seed])
+            declared = declared | seed.domain
+        omega = evaluate_match(basic.match, ctx, seed=seed_table)
+    else:
+        declared = frozenset()
+        omega = BindingTable.unit()
+
+    if isinstance(basic.head, ast.SelectClause):
+        return evaluate_select(basic.head, omega, ctx)
+    if isinstance(basic.head, ast.ConstructClause):
+        return evaluate_construct(basic.head, omega, ctx, declared)
+    raise SemanticError(f"unknown basic query head: {basic.head!r}")

@@ -1,0 +1,165 @@
+"""SELECT evaluation — the tabular projection extension of Section 5.
+
+``SELECT e1 AS a1, ... MATCH ...`` projects the binding set into a
+:class:`~repro.table.Table`. Following the paper's sketch ("slicing,
+sorting, and aggregation, similar to Cypher's RETURN clause"), we support
+DISTINCT, GROUP BY, ORDER BY (ASC/DESC), LIMIT and OFFSET, and aggregate
+items (with an implicit single group when no GROUP BY is given).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..algebra.binding import Binding, BindingTable
+from ..errors import EvaluationError
+from ..lang import ast
+from ..lang.pretty import pretty_expr
+from ..model.values import as_scalar
+from ..table import Table
+from .context import EvalContext
+from .expressions import ExpressionEvaluator, expr_has_aggregate
+
+__all__ = ["evaluate_select"]
+
+
+def _column_name(item: ast.SelectItem, index: int) -> str:
+    if item.alias:
+        return item.alias
+    return pretty_expr(item.expr)
+
+
+def _normalize(value: Any) -> Any:
+    """Flatten evaluation results into table cells."""
+    if isinstance(value, frozenset):
+        if not value:
+            return None
+        if len(value) == 1:
+            return next(iter(value))
+        return value
+    return value
+
+
+def _sort_token(value: Any) -> Tuple[str, str]:
+    return (type(value).__name__, str(value))
+
+
+def evaluate_select(
+    select: ast.SelectClause,
+    omega: BindingTable,
+    ctx: EvalContext,
+) -> Table:
+    """Evaluate a SELECT head over the binding set *omega*."""
+    ev = ExpressionEvaluator(ctx)
+    columns = [_column_name(item, i) for i, item in enumerate(select.items)]
+    maxdom = omega.maximal_domain()
+    aggregated = bool(select.group_by) or any(
+        expr_has_aggregate(item.expr) for item in select.items
+    )
+
+    # GROUP BY / ORDER BY may reference SELECT aliases; resolve them to
+    # the underlying expressions before evaluation.
+    aliases = {
+        item.alias: item.expr for item in select.items if item.alias
+    }
+    group_exprs = tuple(
+        aliases.get(expr.name, expr) if isinstance(expr, ast.Var) else expr
+        for expr in select.group_by
+    )
+
+    raw_rows: List[Tuple[Binding, Tuple[Any, ...]]] = []
+    if aggregated:
+        groups = _group(omega, group_exprs, ev)
+        for representative, group in groups:
+            cells = tuple(
+                _normalize(
+                    ev.evaluate(
+                        item.expr, representative, group=group,
+                        maximal_domain=maxdom,
+                    )
+                )
+                for item in select.items
+            )
+            raw_rows.append((representative, cells))
+    else:
+        for row in omega:
+            cells = tuple(
+                _normalize(ev.evaluate(item.expr, row)) for item in select.items
+            )
+            raw_rows.append((row, cells))
+
+    if select.distinct:
+        seen = set()
+        unique: List[Tuple[Binding, Tuple[Any, ...]]] = []
+        for row, cells in raw_rows:
+            key = tuple(_sort_token(c) for c in cells)
+            if key not in seen:
+                seen.add(key)
+                unique.append((row, cells))
+        raw_rows = unique
+
+    if select.order_by:
+        def order_key(entry: Tuple[Binding, Tuple[Any, ...]]):
+            row, cells = entry
+            key = []
+            for expr, ascending in select.order_by:
+                value = _order_value(expr, row, cells, columns, ev)
+                token = _sort_token(value)
+                key.append((token, ascending))
+            # Encode descending by post-processing below.
+            return key
+
+        # Stable multi-key sort: apply keys right-to-left.
+        for expr, ascending in reversed(select.order_by):
+            raw_rows.sort(
+                key=lambda entry: _sort_token(
+                    _order_value(expr, entry[0], entry[1], columns, ev)
+                ),
+                reverse=not ascending,
+            )
+
+    rows = [cells for _, cells in raw_rows]
+    if select.offset:
+        rows = rows[select.offset:]
+    if select.limit is not None:
+        rows = rows[: select.limit]
+    return Table(columns, rows)
+
+
+def _order_value(
+    expr: ast.Expr,
+    row: Binding,
+    cells: Tuple[Any, ...],
+    columns: Sequence[str],
+    ev: ExpressionEvaluator,
+) -> Any:
+    """An ORDER BY key: an output column by alias, or any expression."""
+    if isinstance(expr, ast.Var) and expr.name in columns:
+        return cells[list(columns).index(expr.name)]
+    value = ev.evaluate(expr, row)
+    return _normalize(value)
+
+
+def _group(
+    omega: BindingTable,
+    group_by: Tuple[ast.Expr, ...],
+    ev: ExpressionEvaluator,
+) -> List[Tuple[Binding, BindingTable]]:
+    """Partition *omega* by GROUP BY keys (single group when absent)."""
+    if not group_by:
+        representative = omega.rows[0] if omega.rows else Binding()
+        return [(representative, omega)]
+    groups = {}
+    order: List[Tuple[Any, ...]] = []
+    for row in omega:
+        key = tuple(
+            _sort_token(_normalize(ev.evaluate(expr, row))) for expr in group_by
+        )
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+    return [
+        (groups[key][0], BindingTable(omega.columns, groups[key]))
+        for key in sorted(order)
+    ]

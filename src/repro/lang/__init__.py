@@ -1,0 +1,18 @@
+"""The G-CORE language frontend: lexer, AST, parser and pretty-printer."""
+
+from . import ast
+from .lexer import Token, tokenize
+from .parser import parse_expression, parse_query, parse_statement
+from .pretty import pretty_expr, pretty_query, pretty_statement
+
+__all__ = [
+    "ast",
+    "Token",
+    "tokenize",
+    "parse_expression",
+    "parse_query",
+    "parse_statement",
+    "pretty_expr",
+    "pretty_query",
+    "pretty_statement",
+]

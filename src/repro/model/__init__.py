@@ -1,0 +1,31 @@
+"""The Path Property Graph data model (Section 2 of the paper).
+
+Public surface:
+
+* :class:`~repro.model.graph.PathPropertyGraph` — the immutable PPG.
+* :class:`~repro.model.builder.GraphBuilder` — the mutation point.
+* :mod:`~repro.model.values` — literals, value sets, comparison semantics.
+* :mod:`~repro.model.setops` — UNION / INTERSECT / MINUS on whole graphs.
+* :mod:`~repro.model.io` — JSON round-tripping.
+* :mod:`~repro.model.schema` — structural schemas; the SNB schema (Fig. 3).
+"""
+
+from .builder import GraphBuilder
+from .graph import ObjectId, PathPropertyGraph, path_edges, path_nodes
+from .setops import empty_graph, graph_difference, graph_intersect, graph_union
+from .values import Date, ValueSet, as_value_set
+
+__all__ = [
+    "GraphBuilder",
+    "ObjectId",
+    "PathPropertyGraph",
+    "path_edges",
+    "path_nodes",
+    "empty_graph",
+    "graph_difference",
+    "graph_intersect",
+    "graph_union",
+    "Date",
+    "ValueSet",
+    "as_value_set",
+]

@@ -1,0 +1,422 @@
+"""The Path Property Graph (PPG) — Definition 2.1 of the paper.
+
+A PPG is a tuple ``G = (N, E, P, rho, delta, lambda, sigma)`` where
+
+* ``N``, ``E``, ``P`` are pairwise-disjoint finite sets of node, edge and
+  path identifiers,
+* ``rho : E -> N x N`` assigns endpoints to edges,
+* ``delta : P -> FLIST(N u E)`` assigns to each stored path an alternating
+  sequence ``[a1, e1, a2, ..., an, en, an+1]`` of adjacent nodes and edges,
+* ``lambda`` assigns a finite set of labels to every node, edge and path,
+* ``sigma`` assigns a finite set of literal values to every
+  (object, property-key) pair.
+
+Instances of :class:`PathPropertyGraph` are immutable once constructed:
+all query operations produce *new* graphs that may share identifiers with
+their inputs — exactly the identity-respecting composability G-CORE
+builds on (Section 3, "Construction that respects identities").
+Use :class:`repro.model.builder.GraphBuilder` to assemble graphs.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..errors import GraphModelError
+from .values import ValueSet, as_value_set, format_value_set
+
+__all__ = ["ObjectId", "PathPropertyGraph", "path_nodes", "path_edges"]
+
+ObjectId = Hashable
+PropertyMap = Mapping[str, ValueSet]
+
+
+def path_nodes(sequence: Sequence[ObjectId]) -> Tuple[ObjectId, ...]:
+    """The ``nodes(p)`` list of a path sequence (positions 0, 2, 4, ...)."""
+    return tuple(sequence[0::2])
+
+
+def path_edges(sequence: Sequence[ObjectId]) -> Tuple[ObjectId, ...]:
+    """The ``edges(p)`` list of a path sequence (positions 1, 3, 5, ...)."""
+    return tuple(sequence[1::2])
+
+
+class PathPropertyGraph:
+    """An immutable Path Property Graph.
+
+    Parameters mirror Definition 2.1. ``labels`` and ``properties`` may
+    mention only identifiers present in ``nodes | edges | paths``; property
+    values are normalized to frozensets via
+    :func:`repro.model.values.as_value_set`.
+    """
+
+    __slots__ = (
+        "_nodes",
+        "_edges",
+        "_paths",
+        "_rho",
+        "_delta",
+        "_labels",
+        "_props",
+        "_name",
+        "_out_index",
+        "_in_index",
+        "_node_label_index",
+        "_edge_label_index",
+        "_path_label_index",
+    )
+
+    def __init__(
+        self,
+        nodes: Iterable[ObjectId] = (),
+        edges: Mapping[ObjectId, Tuple[ObjectId, ObjectId]] = None,
+        paths: Mapping[ObjectId, Sequence[ObjectId]] = None,
+        labels: Mapping[ObjectId, Iterable[str]] = None,
+        properties: Mapping[ObjectId, Mapping[str, Any]] = None,
+        name: str = "",
+        validate: bool = True,
+    ) -> None:
+        self._nodes: FrozenSet[ObjectId] = frozenset(nodes)
+        self._rho: Dict[ObjectId, Tuple[ObjectId, ObjectId]] = dict(edges or {})
+        self._edges: FrozenSet[ObjectId] = frozenset(self._rho)
+        self._delta: Dict[ObjectId, Tuple[ObjectId, ...]] = {
+            pid: tuple(seq) for pid, seq in (paths or {}).items()
+        }
+        self._paths: FrozenSet[ObjectId] = frozenset(self._delta)
+        self._labels: Dict[ObjectId, FrozenSet[str]] = {
+            obj: frozenset(lbls) for obj, lbls in (labels or {}).items() if lbls
+        }
+        self._props: Dict[ObjectId, Dict[str, ValueSet]] = {}
+        for obj, mapping in (properties or {}).items():
+            normalized = {
+                key: as_value_set(value)
+                for key, value in mapping.items()
+                if as_value_set(value)
+            }
+            if normalized:
+                self._props[obj] = normalized
+        self._name = name
+        self._out_index: Optional[Dict[ObjectId, Tuple[ObjectId, ...]]] = None
+        self._in_index: Optional[Dict[ObjectId, Tuple[ObjectId, ...]]] = None
+        self._node_label_index: Optional[Dict[str, FrozenSet[ObjectId]]] = None
+        self._edge_label_index: Optional[Dict[str, FrozenSet[ObjectId]]] = None
+        self._path_label_index: Optional[Dict[str, FrozenSet[ObjectId]]] = None
+        if validate:
+            self._check_invariants()
+
+    # ------------------------------------------------------------------
+    # Invariants (Definition 2.1)
+    # ------------------------------------------------------------------
+    def _check_invariants(self) -> None:
+        if self._nodes & self._edges or self._nodes & self._paths or (
+            self._edges & self._paths
+        ):
+            raise GraphModelError("node/edge/path identifier sets must be disjoint")
+        for edge, (src, dst) in self._rho.items():
+            if src not in self._nodes or dst not in self._nodes:
+                raise GraphModelError(
+                    f"edge {edge!r} has endpoint outside the node set: {(src, dst)!r}"
+                )
+        for pid, seq in self._delta.items():
+            self._check_path_sequence(pid, seq)
+        known = self._nodes | self._edges | self._paths
+        for obj in self._labels:
+            if obj not in known:
+                raise GraphModelError(f"label assigned to unknown identifier {obj!r}")
+        for obj in self._props:
+            if obj not in known:
+                raise GraphModelError(
+                    f"property assigned to unknown identifier {obj!r}"
+                )
+
+    def _check_path_sequence(self, pid: ObjectId, seq: Tuple[ObjectId, ...]) -> None:
+        if len(seq) % 2 == 0 or not seq:
+            raise GraphModelError(
+                f"path {pid!r} must alternate nodes and edges and start/end "
+                f"with a node; got length {len(seq)}"
+            )
+        for position, obj in enumerate(seq):
+            if position % 2 == 0:
+                if obj not in self._nodes:
+                    raise GraphModelError(
+                        f"path {pid!r} position {position}: {obj!r} is not a node"
+                    )
+            else:
+                if obj not in self._edges:
+                    raise GraphModelError(
+                        f"path {pid!r} position {position}: {obj!r} is not an edge"
+                    )
+        for j in range(1, len(seq), 2):
+            edge = seq[j]
+            before, after = seq[j - 1], seq[j + 1]
+            src, dst = self._rho[edge]
+            if (src, dst) != (before, after) and (src, dst) != (after, before):
+                raise GraphModelError(
+                    f"path {pid!r}: edge {edge!r} does not connect "
+                    f"{before!r} and {after!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The catalog name this graph was registered under (may be '')."""
+        return self._name
+
+    @property
+    def nodes(self) -> FrozenSet[ObjectId]:
+        """The node identifier set ``N``."""
+        return self._nodes
+
+    @property
+    def edges(self) -> FrozenSet[ObjectId]:
+        """The edge identifier set ``E``."""
+        return self._edges
+
+    @property
+    def paths(self) -> FrozenSet[ObjectId]:
+        """The stored-path identifier set ``P``."""
+        return self._paths
+
+    @property
+    def rho(self) -> Mapping[ObjectId, Tuple[ObjectId, ObjectId]]:
+        """The endpoint assignment ``rho`` as a read-only mapping."""
+        return dict(self._rho)
+
+    @property
+    def delta(self) -> Mapping[ObjectId, Tuple[ObjectId, ...]]:
+        """The path assignment ``delta`` as a read-only mapping."""
+        return dict(self._delta)
+
+    def endpoints(self, edge: ObjectId) -> Tuple[ObjectId, ObjectId]:
+        """``rho(edge)`` — the (source, target) pair of an edge."""
+        try:
+            return self._rho[edge]
+        except KeyError:
+            raise GraphModelError(f"unknown edge: {edge!r}") from None
+
+    def source(self, edge: ObjectId) -> ObjectId:
+        """The starting node of *edge*."""
+        return self.endpoints(edge)[0]
+
+    def target(self, edge: ObjectId) -> ObjectId:
+        """The ending node of *edge*."""
+        return self.endpoints(edge)[1]
+
+    def path_sequence(self, path: ObjectId) -> Tuple[ObjectId, ...]:
+        """``delta(path)`` — the alternating node/edge sequence."""
+        try:
+            return self._delta[path]
+        except KeyError:
+            raise GraphModelError(f"unknown path: {path!r}") from None
+
+    def path_nodes(self, path: ObjectId) -> Tuple[ObjectId, ...]:
+        """``nodes(path)`` as defined in Section 2."""
+        return path_nodes(self.path_sequence(path))
+
+    def path_edges(self, path: ObjectId) -> Tuple[ObjectId, ...]:
+        """``edges(path)`` as defined in Section 2."""
+        return path_edges(self.path_sequence(path))
+
+    def path_length(self, path: ObjectId) -> int:
+        """The number of edges of a stored path."""
+        return len(self.path_edges(path))
+
+    # ------------------------------------------------------------------
+    # Labels and properties
+    # ------------------------------------------------------------------
+    def labels(self, obj: ObjectId) -> FrozenSet[str]:
+        """``lambda(obj)`` — the (possibly empty) label set of an object."""
+        return self._labels.get(obj, frozenset())
+
+    def has_label(self, obj: ObjectId, label: str) -> bool:
+        """True iff *label* is one of ``lambda(obj)``."""
+        return label in self._labels.get(obj, frozenset())
+
+    def properties(self, obj: ObjectId) -> Dict[str, ValueSet]:
+        """All defined properties of *obj* as ``{key: value-set}``."""
+        return dict(self._props.get(obj, {}))
+
+    def property(self, obj: ObjectId, key: str) -> ValueSet:
+        """``sigma(obj, key)``; the empty set when the property is absent."""
+        return self._props.get(obj, {}).get(key, frozenset())
+
+    def label_map(self) -> Dict[ObjectId, FrozenSet[str]]:
+        """A copy of the full ``lambda`` assignment (non-empty entries)."""
+        return dict(self._labels)
+
+    def property_map(self) -> Dict[ObjectId, Dict[str, ValueSet]]:
+        """A copy of the full ``sigma`` assignment (non-empty entries)."""
+        return {obj: dict(props) for obj, props in self._props.items()}
+
+    # ------------------------------------------------------------------
+    # Derived indexes (built lazily; the graph is immutable)
+    # ------------------------------------------------------------------
+    def _build_adjacency(self) -> None:
+        out_index: Dict[ObjectId, List[ObjectId]] = {n: [] for n in self._nodes}
+        in_index: Dict[ObjectId, List[ObjectId]] = {n: [] for n in self._nodes}
+        for edge, (src, dst) in self._rho.items():
+            out_index[src].append(edge)
+            in_index[dst].append(edge)
+        self._out_index = {n: tuple(es) for n, es in out_index.items()}
+        self._in_index = {n: tuple(es) for n, es in in_index.items()}
+
+    def out_edges(self, node: ObjectId) -> Tuple[ObjectId, ...]:
+        """Edges whose source is *node*."""
+        if self._out_index is None:
+            self._build_adjacency()
+        return self._out_index.get(node, ())
+
+    def in_edges(self, node: ObjectId) -> Tuple[ObjectId, ...]:
+        """Edges whose target is *node*."""
+        if self._in_index is None:
+            self._build_adjacency()
+        return self._in_index.get(node, ())
+
+    def degree(self, node: ObjectId) -> int:
+        """Total degree (in + out) of *node*."""
+        return len(self.out_edges(node)) + len(self.in_edges(node))
+
+    def _build_label_indexes(self) -> None:
+        node_idx: Dict[str, set] = {}
+        edge_idx: Dict[str, set] = {}
+        path_idx: Dict[str, set] = {}
+        for obj, lbls in self._labels.items():
+            if obj in self._nodes:
+                target = node_idx
+            elif obj in self._edges:
+                target = edge_idx
+            else:
+                target = path_idx
+            for label in lbls:
+                target.setdefault(label, set()).add(obj)
+        self._node_label_index = {l: frozenset(s) for l, s in node_idx.items()}
+        self._edge_label_index = {l: frozenset(s) for l, s in edge_idx.items()}
+        self._path_label_index = {l: frozenset(s) for l, s in path_idx.items()}
+
+    def nodes_with_label(self, label: str) -> FrozenSet[ObjectId]:
+        """All nodes carrying *label* (indexed)."""
+        if self._node_label_index is None:
+            self._build_label_indexes()
+        return self._node_label_index.get(label, frozenset())
+
+    def edges_with_label(self, label: str) -> FrozenSet[ObjectId]:
+        """All edges carrying *label* (indexed)."""
+        if self._edge_label_index is None:
+            self._build_label_indexes()
+        return self._edge_label_index.get(label, frozenset())
+
+    def paths_with_label(self, label: str) -> FrozenSet[ObjectId]:
+        """All stored paths carrying *label* (indexed)."""
+        if self._path_label_index is None:
+            self._build_label_indexes()
+        return self._path_label_index.get(label, frozenset())
+
+    # ------------------------------------------------------------------
+    # Whole-graph views
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        """True iff the graph has no nodes (hence no edges or paths)."""
+        return not self._nodes
+
+    def order(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    def size(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    def with_name(self, name: str) -> "PathPropertyGraph":
+        """A shallow copy of this graph carrying a catalog *name*."""
+        clone = PathPropertyGraph.__new__(PathPropertyGraph)
+        for slot in PathPropertyGraph.__slots__:
+            setattr(clone, slot, getattr(self, slot))
+        clone._name = name
+        return clone
+
+    def consistent_with(self, other: "PathPropertyGraph") -> bool:
+        """The consistency condition of Appendix A.5.
+
+        Two graphs are consistent when shared edges agree on endpoints and
+        shared paths agree on their sequences.
+        """
+        for edge in self._edges & other._edges:
+            if self._rho[edge] != other._rho[edge]:
+                return False
+        for pid in self._paths & other._paths:
+            if self._delta[pid] != other._delta[pid]:
+                return False
+        return True
+
+    def objects(self) -> Iterator[ObjectId]:
+        """Iterate over every identifier of the graph (nodes, edges, paths)."""
+        yield from self._nodes
+        yield from self._edges
+        yield from self._paths
+
+    def __contains__(self, obj: ObjectId) -> bool:
+        return obj in self._nodes or obj in self._edges or obj in self._paths
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PathPropertyGraph):
+            return NotImplemented
+        return (
+            self._nodes == other._nodes
+            and self._rho == other._rho
+            and self._delta == other._delta
+            and self._labels == other._labels
+            and self._props == other._props
+        )
+
+    def __hash__(self) -> int:  # identity hashing; structural eq is explicit
+        return id(self)
+
+    def __repr__(self) -> str:
+        label = f" {self._name!r}" if self._name else ""
+        return (
+            f"<PathPropertyGraph{label}: {len(self._nodes)} nodes, "
+            f"{len(self._edges)} edges, {len(self._paths)} paths>"
+        )
+
+    def describe(self) -> str:
+        """A multi-line, deterministic dump used by tests and examples."""
+        lines = [repr(self)]
+        for node in sorted(self._nodes, key=str):
+            lines.append(f"  node {node!r} {self._format_obj(node)}")
+        for edge in sorted(self._edges, key=str):
+            src, dst = self._rho[edge]
+            lines.append(
+                f"  edge {edge!r} ({src!r})->({dst!r}) {self._format_obj(edge)}"
+            )
+        for pid in sorted(self._paths, key=str):
+            lines.append(
+                f"  path {pid!r} {list(self._delta[pid])!r} {self._format_obj(pid)}"
+            )
+        return "\n".join(lines)
+
+    def _format_obj(self, obj: ObjectId) -> str:
+        labels = ":".join(sorted(self.labels(obj)))
+        props = ", ".join(
+            f"{key}={format_value_set(values)}"
+            for key, values in sorted(self.properties(obj).items())
+        )
+        parts = []
+        if labels:
+            parts.append(f":{labels}")
+        if props:
+            parts.append("{" + props + "}")
+        return " ".join(parts)

@@ -1,0 +1,147 @@
+"""JSON (de)serialization of Path Property Graphs.
+
+The on-disk format is a stable, human-readable JSON document:
+
+.. code-block:: json
+
+    {
+      "name": "social_graph",
+      "nodes": [{"id": "john", "labels": ["Person"],
+                 "properties": {"employer": ["Acme"]}}],
+      "edges": [{"id": "e1", "source": "john", "target": "peter",
+                 "labels": ["knows"], "properties": {}}],
+      "paths": [{"id": "p1", "sequence": ["john", "e1", "peter"],
+                 "labels": ["toWagner"], "properties": {"trust": [0.95]}}]
+    }
+
+Scalars serialize natively except :class:`~repro.model.values.Date`,
+which is tagged as ``{"$date": "YYYY-MM-DD"}``. Round-tripping preserves
+graphs exactly (structural equality).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Union
+
+from ..errors import GraphModelError
+from .graph import ObjectId, PathPropertyGraph
+from .values import Date, Scalar
+
+__all__ = ["graph_to_dict", "graph_from_dict", "dump_graph", "load_graph",
+           "dumps_graph", "loads_graph"]
+
+
+def _encode_scalar(value: Scalar) -> Any:
+    if isinstance(value, Date):
+        return {"$date": str(value)}
+    return value
+
+
+def _decode_scalar(value: Any) -> Scalar:
+    if isinstance(value, dict):
+        if set(value) == {"$date"}:
+            return Date.parse(value["$date"])
+        raise GraphModelError(f"unrecognized scalar encoding: {value!r}")
+    return value
+
+
+def _sorted_scalars(values) -> List[Any]:
+    return sorted(
+        (_encode_scalar(v) for v in values), key=lambda v: (str(type(v)), str(v))
+    )
+
+
+def _encode_object(graph: PathPropertyGraph, obj: ObjectId) -> Dict[str, Any]:
+    return {
+        "labels": sorted(graph.labels(obj)),
+        "properties": {
+            key: _sorted_scalars(values)
+            for key, values in sorted(graph.properties(obj).items())
+        },
+    }
+
+
+def graph_to_dict(graph: PathPropertyGraph) -> Dict[str, Any]:
+    """Convert *graph* to a JSON-serializable dictionary."""
+    nodes = []
+    for node in sorted(graph.nodes, key=str):
+        entry = {"id": node}
+        entry.update(_encode_object(graph, node))
+        nodes.append(entry)
+    edges = []
+    for edge in sorted(graph.edges, key=str):
+        src, dst = graph.endpoints(edge)
+        entry = {"id": edge, "source": src, "target": dst}
+        entry.update(_encode_object(graph, edge))
+        edges.append(entry)
+    paths = []
+    for pid in sorted(graph.paths, key=str):
+        entry = {"id": pid, "sequence": list(graph.path_sequence(pid))}
+        entry.update(_encode_object(graph, pid))
+        paths.append(entry)
+    return {"name": graph.name, "nodes": nodes, "edges": edges, "paths": paths}
+
+
+def graph_from_dict(data: Dict[str, Any]) -> PathPropertyGraph:
+    """Reconstruct a PPG from the dictionary produced by :func:`graph_to_dict`."""
+    labels: Dict[ObjectId, List[str]] = {}
+    props: Dict[ObjectId, Dict[str, frozenset]] = {}
+
+    def register(entry: Dict[str, Any]) -> None:
+        obj = entry["id"]
+        if entry.get("labels"):
+            labels[obj] = list(entry["labels"])
+        if entry.get("properties"):
+            props[obj] = {
+                key: frozenset(_decode_scalar(v) for v in values)
+                for key, values in entry["properties"].items()
+            }
+
+    nodes = []
+    for entry in data.get("nodes", []):
+        nodes.append(entry["id"])
+        register(entry)
+    edges = {}
+    for entry in data.get("edges", []):
+        edges[entry["id"]] = (entry["source"], entry["target"])
+        register(entry)
+    paths = {}
+    for entry in data.get("paths", []):
+        paths[entry["id"]] = tuple(entry["sequence"])
+        register(entry)
+    return PathPropertyGraph(
+        nodes=nodes,
+        edges=edges,
+        paths=paths,
+        labels=labels,
+        properties=props,
+        name=data.get("name", ""),
+    )
+
+
+def dumps_graph(graph: PathPropertyGraph, indent: int = 2) -> str:
+    """Serialize *graph* to a JSON string."""
+    return json.dumps(graph_to_dict(graph), indent=indent, sort_keys=False)
+
+
+def loads_graph(text: str) -> PathPropertyGraph:
+    """Deserialize a graph from a JSON string."""
+    return graph_from_dict(json.loads(text))
+
+
+def dump_graph(graph: PathPropertyGraph, fp: Union[str, IO[str]]) -> None:
+    """Write *graph* as JSON to a path or file object."""
+    if isinstance(fp, str):
+        with open(fp, "w", encoding="utf-8") as handle:
+            handle.write(dumps_graph(graph))
+    else:
+        fp.write(dumps_graph(graph))
+
+
+def load_graph(fp: Union[str, IO[str]]) -> PathPropertyGraph:
+    """Read a graph from a JSON path or file object."""
+    if isinstance(fp, str):
+        with open(fp, "r", encoding="utf-8") as handle:
+            return loads_graph(handle.read())
+    return loads_graph(fp.read())

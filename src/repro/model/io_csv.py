@@ -1,0 +1,224 @@
+"""CSV import/export for Path Property Graphs.
+
+Graph datasets in the wild (including the official LDBC SNB generator's
+output) ship as node/edge CSV files; this module bridges them into the
+PPG model:
+
+* :func:`load_graph_csv` reads a node file (``id``, ``labels``, property
+  columns) and an edge file (``id``, ``source``, ``target``, ``labels``,
+  property columns) — labels are ``;``-separated, multi-valued property
+  cells too;
+* :func:`dump_graph_csv` writes the same format back (stored paths,
+  which CSV cannot express, round-trip through the JSON format instead);
+* :func:`load_table_csv` reads a plain CSV into a
+  :class:`~repro.table.Table` for the Section 5 tabular extensions.
+
+Cells are type-inferred: integers, floats, booleans (``true``/``false``)
+and ISO dates are recognized; everything else stays a string. Empty
+cells mean "property absent".
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Dict, IO, Iterable, List, Optional, Tuple, Union
+
+from ..errors import GraphModelError
+from ..table import Table
+from .builder import GraphBuilder
+from .graph import PathPropertyGraph
+from .values import Date, Scalar
+
+__all__ = [
+    "load_graph_csv",
+    "dump_graph_csv",
+    "load_table_csv",
+    "dump_table_csv",
+    "parse_cell",
+    "format_cell",
+]
+
+_RESERVED_NODE = ("id", "labels")
+_RESERVED_EDGE = ("id", "source", "target", "labels")
+_MULTI_SEP = ";"
+
+
+def parse_cell(text: str) -> Optional[Any]:
+    """Infer a scalar (or multi-valued set) from a CSV cell."""
+    if text == "":
+        return None
+    if _MULTI_SEP in text:
+        values = [parse_cell(part) for part in text.split(_MULTI_SEP)]
+        return frozenset(v for v in values if v is not None)
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    try:
+        return Date.parse(text)
+    except ValueError:
+        pass
+    return text
+
+
+def format_cell(value: Any) -> str:
+    """Render a scalar or value set back into a CSV cell."""
+    if value is None:
+        return ""
+    if isinstance(value, frozenset):
+        return _MULTI_SEP.join(
+            sorted(format_cell(v) for v in value)
+        )
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _open(source: Union[str, IO[str]], mode: str = "r"):
+    if isinstance(source, str):
+        return open(source, mode, encoding="utf-8", newline="")
+    return None
+
+
+def _rows(source: Union[str, IO[str]]) -> List[Dict[str, str]]:
+    handle = _open(source)
+    try:
+        reader = csv.DictReader(handle if handle is not None else source)
+        return [dict(row) for row in reader]
+    finally:
+        if handle is not None:
+            handle.close()
+
+
+def load_graph_csv(
+    nodes: Union[str, IO[str]],
+    edges: Optional[Union[str, IO[str]]] = None,
+    name: str = "",
+) -> PathPropertyGraph:
+    """Build a PPG from node/edge CSV files (paths or file objects)."""
+    builder = GraphBuilder(name=name)
+    for row in _rows(nodes):
+        if "id" not in row or row["id"] in (None, ""):
+            raise GraphModelError("node CSV rows need a non-empty 'id'")
+        labels = [
+            label for label in (row.get("labels") or "").split(_MULTI_SEP)
+            if label
+        ]
+        properties = {
+            key: parse_cell(value or "")
+            for key, value in row.items()
+            if key not in _RESERVED_NODE and value not in (None, "")
+        }
+        builder.add_node(row["id"], labels=labels, properties=properties)
+    if edges is not None:
+        for row in _rows(edges):
+            for column in ("source", "target"):
+                if row.get(column) in (None, ""):
+                    raise GraphModelError(
+                        f"edge CSV rows need a non-empty {column!r}"
+                    )
+            labels = [
+                label for label in (row.get("labels") or "").split(_MULTI_SEP)
+                if label
+            ]
+            properties = {
+                key: parse_cell(value or "")
+                for key, value in row.items()
+                if key not in _RESERVED_EDGE and value not in (None, "")
+            }
+            builder.add_edge(
+                row["source"],
+                row["target"],
+                edge_id=row.get("id") or None,
+                labels=labels,
+                properties=properties,
+            )
+    return builder.build()
+
+
+def dump_graph_csv(
+    graph: PathPropertyGraph,
+    nodes: Union[str, IO[str]],
+    edges: Union[str, IO[str]],
+) -> None:
+    """Write *graph* as node/edge CSVs (stored paths are not representable).
+
+    Raises :class:`~repro.errors.GraphModelError` if the graph has stored
+    paths — use the JSON format for full fidelity.
+    """
+    if graph.paths:
+        raise GraphModelError(
+            "CSV cannot express stored paths; use repro.model.io (JSON)"
+        )
+    node_keys = sorted(
+        {key for node in graph.nodes for key in graph.properties(node)}
+    )
+    edge_keys = sorted(
+        {key for edge in graph.edges for key in graph.properties(edge)}
+    )
+
+    def write(target, header, rows):
+        handle = _open(target, "w")
+        out = handle if handle is not None else target
+        try:
+            writer = csv.writer(out)
+            writer.writerow(header)
+            writer.writerows(rows)
+        finally:
+            if handle is not None:
+                handle.close()
+
+    node_rows = []
+    for node in sorted(graph.nodes, key=str):
+        row = [str(node), _MULTI_SEP.join(sorted(graph.labels(node)))]
+        for key in node_keys:
+            row.append(format_cell(graph.property(node, key) or None))
+        node_rows.append(row)
+    write(nodes, list(_RESERVED_NODE) + node_keys, node_rows)
+
+    edge_rows = []
+    for edge in sorted(graph.edges, key=str):
+        src, dst = graph.endpoints(edge)
+        row = [str(edge), str(src), str(dst),
+               _MULTI_SEP.join(sorted(graph.labels(edge)))]
+        for key in edge_keys:
+            row.append(format_cell(graph.property(edge, key) or None))
+        edge_rows.append(row)
+    write(edges, list(_RESERVED_EDGE) + edge_keys, edge_rows)
+
+
+def load_table_csv(source: Union[str, IO[str]], name: str = "") -> Table:
+    """Read a plain CSV into a Table (cells type-inferred)."""
+    records = _rows(source)
+    if not records:
+        return Table((), (), name=name)
+    columns = list(records[0].keys())
+    rows = [
+        tuple(parse_cell(record.get(column) or "") for column in columns)
+        for record in records
+    ]
+    return Table(columns, rows, name=name)
+
+
+def dump_table_csv(table: Table, target: Union[str, IO[str]]) -> None:
+    """Write a Table as CSV."""
+    handle = _open(target, "w")
+    out = handle if handle is not None else target
+    try:
+        writer = csv.writer(out)
+        writer.writerow(table.columns)
+        for row in table.rows:
+            writer.writerow([format_cell(value) for value in row])
+    finally:
+        if handle is not None:
+            handle.close()

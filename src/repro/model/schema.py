@@ -1,0 +1,156 @@
+"""Graph schemas and the LDBC SNB schema of Figure 3.
+
+G-CORE itself is schema-optional; the paper's examples run over the LDBC
+Social Network Benchmark whose (simplified) schema is Figure 3. This module
+provides a lightweight structural schema — which node labels exist, which
+edge labels connect which node labels, and which properties each label may
+carry — plus a validator used by the dataset generator's tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Set, Tuple
+
+from ..errors import ValidationError
+from .graph import PathPropertyGraph
+
+__all__ = ["EdgeType", "GraphSchema", "snb_schema"]
+
+
+@dataclass(frozen=True)
+class EdgeType:
+    """An edge label with its allowed (source-label, target-label) pairs."""
+
+    label: str
+    connections: FrozenSet[Tuple[str, str]]
+    properties: FrozenSet[str] = frozenset()
+
+
+@dataclass
+class GraphSchema:
+    """A structural schema for property graphs.
+
+    ``node_properties`` maps node label -> allowed property keys; edges are
+    described by :class:`EdgeType`. Objects with multiple labels must
+    satisfy at least one of their labels' declarations.
+    """
+
+    node_properties: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+    edge_types: Dict[str, EdgeType] = field(default_factory=dict)
+
+    def node_labels(self) -> FrozenSet[str]:
+        """All declared node labels."""
+        return frozenset(self.node_properties)
+
+    def edge_labels(self) -> FrozenSet[str]:
+        """All declared edge labels."""
+        return frozenset(self.edge_types)
+
+    # ------------------------------------------------------------------
+    def validate(self, graph: PathPropertyGraph, strict: bool = True) -> List[str]:
+        """Check *graph* against the schema.
+
+        Returns the list of violation messages. With ``strict=True`` a
+        non-empty list raises :class:`~repro.errors.ValidationError`.
+        Stored paths are not constrained by schemas (they are query
+        artifacts, not base data).
+        """
+        problems: List[str] = []
+        for node in graph.nodes:
+            labels = graph.labels(node) & self.node_labels()
+            if not labels:
+                problems.append(f"node {node!r} has no declared label: "
+                                f"{sorted(graph.labels(node))}")
+                continue
+            allowed: Set[str] = set()
+            for label in labels:
+                allowed |= self.node_properties[label]
+            for key in graph.properties(node):
+                if key not in allowed:
+                    problems.append(
+                        f"node {node!r} ({sorted(labels)}) has undeclared "
+                        f"property {key!r}"
+                    )
+        for edge in graph.edges:
+            labels = graph.labels(edge) & self.edge_labels()
+            if not labels:
+                problems.append(f"edge {edge!r} has no declared label: "
+                                f"{sorted(graph.labels(edge))}")
+                continue
+            src, dst = graph.endpoints(edge)
+            src_labels = graph.labels(src)
+            dst_labels = graph.labels(dst)
+            for label in labels:
+                edge_type = self.edge_types[label]
+                ok = any(
+                    s in src_labels and t in dst_labels
+                    for s, t in edge_type.connections
+                )
+                if not ok:
+                    problems.append(
+                        f"edge {edge!r}:{label} connects "
+                        f"{sorted(src_labels)} -> {sorted(dst_labels)}, "
+                        f"not allowed by schema"
+                    )
+                for key in graph.properties(edge):
+                    if key not in edge_type.properties:
+                        problems.append(
+                            f"edge {edge!r}:{label} has undeclared "
+                            f"property {key!r}"
+                        )
+        if strict and problems:
+            raise ValidationError("; ".join(problems))
+        return problems
+
+
+def snb_schema() -> GraphSchema:
+    """The simplified LDBC SNB schema of Figure 3.
+
+    Node labels: Person (also Manager), Tag, City, Country, Company, Post,
+    Comment. Edge labels: knows, hasInterest, isLocatedIn, worksAt,
+    has_creator, reply_of, isPartOf.
+    """
+    message_sources = ("Post", "Comment")
+    return GraphSchema(
+        node_properties={
+            "Person": frozenset({"firstName", "lastName", "employer", "since"}),
+            "Manager": frozenset({"firstName", "lastName", "employer"}),
+            "Tag": frozenset({"name"}),
+            "City": frozenset({"name"}),
+            "Country": frozenset({"name"}),
+            "Company": frozenset({"name"}),
+            "Post": frozenset({"content", "creationDate", "language"}),
+            "Comment": frozenset({"content", "creationDate"}),
+        },
+        edge_types={
+            "knows": EdgeType(
+                "knows",
+                frozenset({("Person", "Person")}),
+                frozenset({"since", "nr_messages"}),
+            ),
+            "hasInterest": EdgeType(
+                "hasInterest", frozenset({("Person", "Tag")})
+            ),
+            "isLocatedIn": EdgeType(
+                "isLocatedIn",
+                frozenset({("Person", "City"), ("Company", "City")}),
+            ),
+            "worksAt": EdgeType(
+                "worksAt", frozenset({("Person", "Company")}), frozenset({"since"})
+            ),
+            "has_creator": EdgeType(
+                "has_creator",
+                frozenset((m, "Person") for m in message_sources),
+            ),
+            "reply_of": EdgeType(
+                "reply_of",
+                frozenset(
+                    (m1, m2) for m1 in ("Comment",) for m2 in message_sources
+                ),
+            ),
+            "isPartOf": EdgeType(
+                "isPartOf", frozenset({("City", "Country")})
+            ),
+        },
+    )

@@ -1,0 +1,120 @@
+"""Full-graph set operations — Appendix A.5 of the paper.
+
+UNION, INTERSECT and MINUS are defined over whole PPGs in terms of object
+*identity*. Union and intersection require the operands to be *consistent*
+(shared edges agree on endpoints, shared paths on sequences); inconsistent
+operands yield the empty graph, exactly as A.5 prescribes. Difference keeps
+only edges whose endpoints survive and paths whose constituents survive, so
+the result is always a well-formed PPG.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .graph import ObjectId, PathPropertyGraph, path_edges, path_nodes
+
+__all__ = ["graph_union", "graph_intersect", "graph_difference", "empty_graph"]
+
+
+def empty_graph(name: str = "") -> PathPropertyGraph:
+    """The empty PPG (used for inconsistent unions and false WHENs)."""
+    return PathPropertyGraph(name=name)
+
+
+def graph_union(
+    left: PathPropertyGraph, right: PathPropertyGraph
+) -> PathPropertyGraph:
+    """``G1 UNION G2`` per A.5: union of components, labels and properties.
+
+    Shared identifiers merge their label sets and property value sets.
+    Returns the empty graph when the operands are inconsistent.
+    """
+    if not left.consistent_with(right):
+        return empty_graph()
+    edges: Dict[ObjectId, tuple] = dict(left.rho)
+    edges.update(right.rho)
+    paths: Dict[ObjectId, tuple] = dict(left.delta)
+    paths.update(right.delta)
+    labels: Dict[ObjectId, frozenset] = {}
+    props: Dict[ObjectId, Dict[str, frozenset]] = {}
+    for graph in (left, right):
+        for obj in graph.objects():
+            obj_labels = graph.labels(obj)
+            if obj_labels:
+                labels[obj] = labels.get(obj, frozenset()) | obj_labels
+            for key, values in graph.properties(obj).items():
+                store = props.setdefault(obj, {})
+                store[key] = store.get(key, frozenset()) | values
+    return PathPropertyGraph(
+        nodes=left.nodes | right.nodes,
+        edges=edges,
+        paths=paths,
+        labels=labels,
+        properties=props,
+    )
+
+
+def graph_intersect(
+    left: PathPropertyGraph, right: PathPropertyGraph
+) -> PathPropertyGraph:
+    """``G1 INTERSECT G2`` per A.5: intersection of identifiers.
+
+    Labels and property value sets are intersected pointwise. Returns the
+    empty graph when the operands are inconsistent.
+    """
+    if not left.consistent_with(right):
+        return empty_graph()
+    nodes = left.nodes & right.nodes
+    edges = {e: left.endpoints(e) for e in left.edges & right.edges}
+    paths = {p: left.path_sequence(p) for p in left.paths & right.paths}
+    shared = nodes | set(edges) | set(paths)
+    labels: Dict[ObjectId, frozenset] = {}
+    props: Dict[ObjectId, Dict[str, frozenset]] = {}
+    for obj in shared:
+        both = left.labels(obj) & right.labels(obj)
+        if both:
+            labels[obj] = both
+        left_props = left.properties(obj)
+        right_props = right.properties(obj)
+        for key in set(left_props) & set(right_props):
+            values = left_props[key] & right_props[key]
+            if values:
+                props.setdefault(obj, {})[key] = values
+    return PathPropertyGraph(
+        nodes=nodes, edges=edges, paths=paths, labels=labels, properties=props
+    )
+
+
+def graph_difference(
+    left: PathPropertyGraph, right: PathPropertyGraph
+) -> PathPropertyGraph:
+    """``G1 MINUS G2`` per A.5.
+
+    Nodes of the right operand are removed; edges survive only if both
+    endpoints survive; paths survive only if all their nodes and edges do.
+    Labels/properties restrict to the surviving objects.
+    """
+    nodes = left.nodes - right.nodes
+    edges = {
+        e: left.endpoints(e)
+        for e in left.edges - right.edges
+        if left.endpoints(e)[0] in nodes and left.endpoints(e)[1] in nodes
+    }
+    paths = {}
+    for pid in left.paths - right.paths:
+        seq = left.path_sequence(pid)
+        if all(n in nodes for n in path_nodes(seq)) and all(
+            e in edges for e in path_edges(seq)
+        ):
+            paths[pid] = seq
+    survivors = nodes | set(edges) | set(paths)
+    labels = {
+        obj: left.labels(obj) for obj in survivors if left.labels(obj)
+    }
+    props = {
+        obj: left.properties(obj) for obj in survivors if left.properties(obj)
+    }
+    return PathPropertyGraph(
+        nodes=nodes, edges=edges, paths=paths, labels=labels, properties=props
+    )

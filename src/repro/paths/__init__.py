@@ -1,0 +1,24 @@
+"""Path-finding substrate: automata, product-graph search, walk values."""
+
+from .automaton import NFA, Arc, compile_regex, regex_view_names
+from .product import PathFinder, ViewSegment
+from .simplepaths import (
+    count_simple_paths,
+    enumerate_simple_paths,
+    simple_path_exists,
+)
+from .walk import AllPathsHandle, Walk
+
+__all__ = [
+    "NFA",
+    "Arc",
+    "compile_regex",
+    "regex_view_names",
+    "PathFinder",
+    "ViewSegment",
+    "count_simple_paths",
+    "enumerate_simple_paths",
+    "simple_path_exists",
+    "AllPathsHandle",
+    "Walk",
+]

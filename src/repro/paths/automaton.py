@@ -1,0 +1,197 @@
+"""Thompson construction of NFAs for regular path expressions.
+
+Appendix A.1 evaluates path patterns by "standard automata-theoretic
+techniques in conjunction with Dijkstra-style algorithms". This module is
+the automata half: it compiles a :class:`~repro.lang.ast.RegexExpr` into a
+small epsilon-NFA whose arcs are one of
+
+* ``edge``  — traverse a graph edge with a required label (or any label),
+  forward or inverse (``l`` vs ``l-``),
+* ``node``  — test a label on the *current* node without moving (``!l``),
+* ``view``  — traverse one segment of a PATH-clause view (``~name``),
+  carrying that segment's cost and witness walk.
+
+Epsilon closures are precomputed so the product-graph search never deals
+with epsilon moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..errors import SemanticError
+from ..lang import ast
+
+__all__ = ["Arc", "NFA", "compile_regex", "regex_view_names"]
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A non-epsilon NFA transition label."""
+
+    kind: str                      # 'edge' | 'node' | 'view'
+    label: Optional[str] = None    # edge/node label; view name for 'view'
+    inverse: bool = False          # traverse the edge backwards
+
+
+class NFA:
+    """An epsilon-free view over a Thompson NFA.
+
+    After :meth:`_finalize`, ``moves(state)`` lists the non-epsilon arcs
+    available from a state (through epsilon closure) and
+    ``is_accepting(state)`` answers through the closure as well.
+    """
+
+    def __init__(self) -> None:
+        self._transitions: List[List[Tuple[Optional[Arc], int]]] = []
+        self.start: int = 0
+        self.accept: int = 0
+        self._closed_moves: List[Tuple[Tuple[Arc, int], ...]] = []
+        self._accepting: List[bool] = []
+
+    # Construction ------------------------------------------------------
+    def new_state(self) -> int:
+        self._transitions.append([])
+        return len(self._transitions) - 1
+
+    def add_arc(self, source: int, arc: Optional[Arc], target: int) -> None:
+        self._transitions[source].append((arc, target))
+
+    def _epsilon_closure(self, state: int) -> FrozenSet[int]:
+        seen: Set[int] = {state}
+        stack = [state]
+        while stack:
+            current = stack.pop()
+            for arc, target in self._transitions[current]:
+                if arc is None and target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return frozenset(seen)
+
+    def _finalize(self) -> "NFA":
+        count = len(self._transitions)
+        self._closed_moves = []
+        self._accepting = []
+        for state in range(count):
+            closure = self._epsilon_closure(state)
+            moves: List[Tuple[Arc, int]] = []
+            for member in closure:
+                for arc, target in self._transitions[member]:
+                    if arc is not None:
+                        moves.append((arc, target))
+            self._closed_moves.append(tuple(moves))
+            self._accepting.append(self.accept in closure)
+        return self
+
+    # Queries -------------------------------------------------------------
+    @property
+    def state_count(self) -> int:
+        return len(self._transitions)
+
+    def moves(self, state: int) -> Tuple[Tuple[Arc, int], ...]:
+        """All non-epsilon arcs reachable from *state* via epsilon closure."""
+        return self._closed_moves[state]
+
+    def is_accepting(self, state: int) -> bool:
+        """True iff an accept state is in the epsilon closure of *state*."""
+        return self._accepting[state]
+
+    def view_names(self) -> FrozenSet[str]:
+        """All PATH-view names referenced by this automaton."""
+        names: Set[str] = set()
+        for moves in self._closed_moves:
+            for arc, _ in moves:
+                if arc.kind == "view":
+                    names.add(arc.label)
+        return frozenset(names)
+
+
+def compile_regex(regex: Optional[ast.RegexExpr]) -> NFA:
+    """Compile *regex* into an epsilon-free NFA (None means any-edge star).
+
+    A missing regex — a bare ``-/p/->`` pattern — is interpreted as ``_*``
+    (any walk), the least restrictive conforming expression.
+    """
+    if regex is None:
+        regex = ast.RStar(ast.RAnyEdge())
+    nfa = NFA()
+    start = nfa.new_state()
+    accept = nfa.new_state()
+    nfa.start = start
+    nfa.accept = accept
+    _build(nfa, regex, start, accept)
+    return nfa._finalize()
+
+
+def _build(nfa: NFA, regex: ast.RegexExpr, source: int, target: int) -> None:
+    if isinstance(regex, ast.REps):
+        nfa.add_arc(source, None, target)
+    elif isinstance(regex, ast.RLabel):
+        nfa.add_arc(source, Arc("edge", regex.label, regex.inverse), target)
+    elif isinstance(regex, ast.RAnyEdge):
+        nfa.add_arc(source, Arc("edge", None, regex.inverse), target)
+    elif isinstance(regex, ast.RNodeTest):
+        nfa.add_arc(source, Arc("node", regex.label), target)
+    elif isinstance(regex, ast.RView):
+        nfa.add_arc(source, Arc("view", regex.name), target)
+    elif isinstance(regex, ast.RConcat):
+        current = source
+        for index, item in enumerate(regex.items):
+            nxt = target if index == len(regex.items) - 1 else nfa.new_state()
+            _build(nfa, item, current, nxt)
+            current = nxt
+    elif isinstance(regex, ast.RAlt):
+        for item in regex.items:
+            _build(nfa, item, source, target)
+    elif isinstance(regex, ast.RStar):
+        hub = nfa.new_state()
+        nfa.add_arc(source, None, hub)
+        nfa.add_arc(hub, None, target)
+        _build(nfa, regex.item, hub, hub)
+    elif isinstance(regex, ast.RPlus):
+        hub = nfa.new_state()
+        _build(nfa, regex.item, source, hub)
+        _build(nfa, regex.item, hub, hub)
+        nfa.add_arc(hub, None, target)
+    elif isinstance(regex, ast.ROpt):
+        nfa.add_arc(source, None, target)
+        _build(nfa, regex.item, source, target)
+    elif isinstance(regex, ast.RRepeat):
+        # r{m,n}: m mandatory copies, then (n-m) optional ones (or a star
+        # when the upper bound is open).
+        current = source
+        for _ in range(regex.low):
+            nxt = nfa.new_state()
+            _build(nfa, regex.item, current, nxt)
+            current = nxt
+        if regex.high is None:
+            _build(nfa, ast.RStar(regex.item), current, target)
+        else:
+            for _ in range(regex.high - regex.low):
+                nxt = nfa.new_state()
+                nfa.add_arc(current, None, target)
+                _build(nfa, regex.item, current, nxt)
+                current = nxt
+            nfa.add_arc(current, None, target)
+    else:
+        raise SemanticError(f"unsupported regular path expression: {regex!r}")
+
+
+def regex_view_names(regex: Optional[ast.RegexExpr]) -> FrozenSet[str]:
+    """Statically collect the ``~view`` names referenced by *regex*."""
+    names: Set[str] = set()
+
+    def visit(node: Optional[ast.RegexExpr]) -> None:
+        if node is None:
+            return
+        if isinstance(node, ast.RView):
+            names.add(node.name)
+        elif isinstance(node, (ast.RConcat, ast.RAlt)):
+            for item in node.items:
+                visit(item)
+        elif isinstance(node, (ast.RStar, ast.RPlus, ast.ROpt, ast.RRepeat)):
+            visit(node.item)
+
+    visit(regex)
+    return frozenset(names)

@@ -1,0 +1,114 @@
+"""Unit tests for aggregation functions."""
+
+import pytest
+
+from repro.algebra.aggregates import (
+    evaluate_aggregate,
+    is_aggregate_name,
+)
+from repro.algebra.binding import Binding
+from repro.errors import EvaluationError
+
+
+def rows(*dicts):
+    return [Binding(d) for d in dicts]
+
+
+class TestCountStar:
+    def test_plain_count(self):
+        assert evaluate_aggregate("count", rows({"x": 1}, {"x": 2}), None,
+                                  star=True) == 2
+
+    def test_maximality_rule(self):
+        # Rows missing part of the maximal domain are not counted — this is
+        # what makes the Figure-5 view yield nr_messages = 0 for pairs whose
+        # OPTIONAL block did not match.
+        data = rows({"n": 1, "m": 2, "msg": 9}, {"n": 1, "m": 3})
+        count = evaluate_aggregate(
+            "count", data, None, star=True,
+            maximal_domain=frozenset({"n", "m", "msg"}),
+        )
+        assert count == 1
+
+    def test_zero_when_all_partial(self):
+        data = rows({"n": 1})
+        count = evaluate_aggregate(
+            "count", data, None, star=True,
+            maximal_domain=frozenset({"n", "msg"}),
+        )
+        assert count == 0
+
+
+class TestCountExpr:
+    def arg(self, key):
+        return lambda row: row.get(key)
+
+    def test_skips_absent(self):
+        data = rows({"x": 1}, {"y": 5}, {"x": 3})
+        assert evaluate_aggregate("count", data, self.arg("x")) == 2
+
+    def test_skips_empty_sets(self):
+        data = rows({"x": frozenset()}, {"x": frozenset({1})})
+        assert evaluate_aggregate("count", data, self.arg("x")) == 1
+
+    def test_distinct(self):
+        data = rows({"x": 1}, {"x": 1}, {"x": 2})
+        assert evaluate_aggregate("count", data, self.arg("x"),
+                                  distinct=True) == 2
+
+
+class TestNumericAggregates:
+    def arg(self, key):
+        return lambda row: row.get(key)
+
+    def test_sum(self):
+        assert evaluate_aggregate("sum", rows({"x": 1}, {"x": 2}),
+                                  self.arg("x")) == 3
+
+    def test_avg(self):
+        assert evaluate_aggregate("avg", rows({"x": 1}, {"x": 3}),
+                                  self.arg("x")) == 2
+
+    def test_min_max_numbers(self):
+        data = rows({"x": 3}, {"x": 1}, {"x": 2})
+        assert evaluate_aggregate("min", data, self.arg("x")) == 1
+        assert evaluate_aggregate("max", data, self.arg("x")) == 3
+
+    def test_min_max_strings(self):
+        data = rows({"x": "b"}, {"x": "a"})
+        assert evaluate_aggregate("min", data, self.arg("x")) == "a"
+
+    def test_singleton_sets_unwrap(self):
+        data = rows({"x": frozenset({5})}, {"x": 7})
+        assert evaluate_aggregate("sum", data, self.arg("x")) == 12
+
+    def test_empty_group_yields_absent(self):
+        assert evaluate_aggregate("sum", [], self.arg("x")) == frozenset()
+        assert evaluate_aggregate("min", [], self.arg("x")) == frozenset()
+
+    def test_sum_over_strings_fails(self):
+        with pytest.raises(EvaluationError):
+            evaluate_aggregate("sum", rows({"x": "a"}), self.arg("x"))
+
+    def test_min_mixed_types_fails(self):
+        with pytest.raises(EvaluationError):
+            evaluate_aggregate("min", rows({"x": "a"}, {"x": 1}),
+                               self.arg("x"))
+
+    def test_collect(self):
+        data = rows({"x": 1}, {"x": 2})
+        assert evaluate_aggregate("collect", data, self.arg("x")) == (1, 2)
+
+
+class TestMisc:
+    def test_is_aggregate_name(self):
+        assert is_aggregate_name("COUNT") and is_aggregate_name("collect")
+        assert not is_aggregate_name("nodes")
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(EvaluationError):
+            evaluate_aggregate("median", [], lambda r: 1)
+
+    def test_argument_required(self):
+        with pytest.raises(EvaluationError):
+            evaluate_aggregate("sum", [], None)

@@ -1,0 +1,117 @@
+"""Unit tests for bindings and binding tables (Appendix A.1)."""
+
+import pytest
+
+from repro.algebra.binding import EMPTY_BINDING, Binding, BindingTable
+
+
+class TestBinding:
+    def test_mapping_protocol(self):
+        mu = Binding({"x": 1, "y": "a"})
+        assert mu["x"] == 1 and mu.get("z") is None
+        assert set(mu) == {"x", "y"} and len(mu) == 2
+        assert "x" in mu and "z" not in mu
+
+    def test_domain(self):
+        assert Binding({"x": 1}).domain == frozenset({"x"})
+        assert EMPTY_BINDING.domain == frozenset()
+
+    def test_hash_and_equality(self):
+        assert Binding({"x": 1}) == Binding({"x": 1})
+        assert hash(Binding({"x": 1})) == hash(Binding({"x": 1}))
+        assert Binding({"x": 1}) != Binding({"x": 2})
+
+    def test_compatibility_on_shared_domain(self):
+        mu1 = Binding({"x": 1, "y": 2})
+        mu2 = Binding({"y": 2, "z": 3})
+        assert mu1.compatible(mu2)
+        assert not mu1.compatible(Binding({"y": 99}))
+
+    def test_empty_binding_compatible_with_all(self):
+        assert EMPTY_BINDING.compatible(Binding({"x": 1}))
+        assert Binding({"x": 1}).compatible(EMPTY_BINDING)
+
+    def test_merge(self):
+        merged = Binding({"x": 1}).merge(Binding({"y": 2}))
+        assert merged == Binding({"x": 1, "y": 2})
+
+    def test_extend_is_persistent(self):
+        mu = Binding({"x": 1})
+        nu = mu.extend("y", 2)
+        assert "y" not in mu and nu["y"] == 2
+
+    def test_extend_many(self):
+        nu = Binding({"x": 1}).extend_many({"y": 2, "z": 3})
+        assert nu.domain == frozenset({"x", "y", "z"})
+
+    def test_project_and_drop(self):
+        mu = Binding({"x": 1, "y": 2, "z": 3})
+        assert mu.project(["x", "w"]).domain == frozenset({"x"})
+        assert mu.drop(["y"]).domain == frozenset({"x", "z"})
+
+    def test_repr_sorted(self):
+        assert repr(Binding({"b": 1, "a": 2})) == "{a=2, b=1}"
+
+
+class TestBindingTable:
+    def test_deduplicates_rows(self):
+        table = BindingTable(["x"], [Binding({"x": 1}), Binding({"x": 1})])
+        assert len(table) == 1
+
+    def test_unit_and_empty(self):
+        assert len(BindingTable.unit()) == 1
+        assert not BindingTable.empty(["x"])
+        assert BindingTable.unit().rows[0] == EMPTY_BINDING
+
+    def test_columns_deduplicated_in_order(self):
+        table = BindingTable(["a", "b", "a"], [])
+        assert table.columns == ("a", "b")
+
+    def test_equality_is_set_semantics(self):
+        t1 = BindingTable(["x"], [Binding({"x": 1}), Binding({"x": 2})])
+        t2 = BindingTable(["x"], [Binding({"x": 2}), Binding({"x": 1})])
+        assert t1 == t2
+
+    def test_maximal_domain(self):
+        table = BindingTable(
+            ["x", "y"], [Binding({"x": 1}), Binding({"x": 2, "y": 3})]
+        )
+        assert table.maximal_domain() == frozenset({"x", "y"})
+
+    def test_project(self):
+        table = BindingTable(
+            ["x", "y"],
+            [Binding({"x": 1, "y": 1}), Binding({"x": 1, "y": 2})],
+        )
+        assert len(table.project(["x"])) == 1
+
+    def test_drop(self):
+        table = BindingTable(["x", "y"], [Binding({"x": 1, "y": 2})])
+        dropped = table.drop(["y"])
+        assert dropped.columns == ("x",)
+        assert dropped.rows[0].domain == frozenset({"x"})
+
+    def test_filter(self):
+        table = BindingTable(["x"], [Binding({"x": i}) for i in range(5)])
+        assert len(table.filter(lambda row: row["x"] % 2 == 0)) == 3
+
+    def test_with_columns(self):
+        table = BindingTable(["x"], []).with_columns(["y"])
+        assert table.columns == ("x", "y")
+
+    def test_pretty_contains_headers_and_values(self):
+        table = BindingTable(
+            ["c", "n"], [Binding({"c": "#Acme", "n": "#Alice"})]
+        )
+        text = table.pretty()
+        assert "c" in text and "#Acme" in text
+
+    def test_pretty_limit(self):
+        table = BindingTable(["x"], [Binding({"x": i}) for i in range(30)])
+        assert "more rows" in table.pretty(limit=10)
+
+    def test_pretty_renders_value_sets(self):
+        table = BindingTable(
+            ["e"], [Binding({"e": frozenset({"CWI", "MIT"})})]
+        )
+        assert '{"CWI", "MIT"}' in table.pretty()

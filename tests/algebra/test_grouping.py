@@ -1,0 +1,61 @@
+"""Unit tests for grouping (the grp operator of Appendix A.3)."""
+
+from repro.algebra.binding import Binding, BindingTable
+from repro.algebra.grouping import MISSING, group_by, group_key
+
+
+def T(columns, *rows):
+    return BindingTable(columns, [Binding(r) for r in rows])
+
+
+class TestGroupKey:
+    def test_values_in_order(self):
+        row = Binding({"a": 1, "b": 2})
+        assert group_key(row, ["b", "a"]) == (2, 1)
+
+    def test_missing_sentinel(self):
+        row = Binding({"a": 1})
+        assert group_key(row, ["a", "b"]) == (1, MISSING)
+
+    def test_missing_is_singleton(self):
+        assert group_key(Binding(), ["x"])[0] is MISSING
+
+
+class TestGroupBy:
+    def test_partition(self):
+        table = T(
+            ["e", "n"],
+            {"e": "MIT", "n": "frank"},
+            {"e": "CWI", "n": "frank"},
+            {"e": "Acme", "n": "alice"},
+            {"e": "Acme", "n": "john"},
+        )
+        groups = dict(group_by(table, ["e"]))
+        assert len(groups) == 3
+        assert len(groups[("Acme",)]) == 2
+
+    def test_group_by_empty_gamma_is_single_group(self):
+        table = T(["x"], {"x": 1}, {"x": 2})
+        groups = group_by(table, [])
+        assert len(groups) == 1 and len(groups[0][1]) == 2
+
+    def test_unbound_rows_group_together(self):
+        table = BindingTable(
+            ["x", "y"],
+            [Binding({"x": 1}), Binding({"x": 1, "y": 2})],
+        )
+        groups = dict(group_by(table, ["y"]))
+        assert len(groups) == 2
+        assert (MISSING,) in groups
+
+    def test_deterministic_order(self):
+        table = T(["k"], {"k": "b"}, {"k": "a"}, {"k": "c"})
+        keys1 = [k for k, _ in group_by(table, ["k"])]
+        keys2 = [k for k, _ in group_by(table, ["k"])]
+        assert keys1 == keys2
+        assert keys1 == sorted(keys1)
+
+    def test_group_subtables_preserve_columns(self):
+        table = T(["a", "b"], {"a": 1, "b": 2})
+        ((_, sub),) = group_by(table, ["a"])
+        assert sub.columns == table.columns

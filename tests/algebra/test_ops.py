@@ -1,0 +1,129 @@
+"""Unit tests for the binding-table operators (Appendix A.1)."""
+
+from repro.algebra.binding import Binding, BindingTable
+from repro.algebra.ops import (
+    cartesian_product,
+    table_antijoin,
+    table_join,
+    table_left_join,
+    table_semijoin,
+    table_union,
+)
+
+
+def T(columns, *rows):
+    return BindingTable(columns, [Binding(r) for r in rows])
+
+
+LEFT = T(["x", "y"], {"x": 1, "y": "a"}, {"x": 2, "y": "b"})
+RIGHT = T(["y", "z"], {"y": "a", "z": 10}, {"y": "c", "z": 30})
+
+
+class TestUnion:
+    def test_basic(self):
+        u = table_union(LEFT, RIGHT)
+        assert len(u) == 4
+        assert set(u.columns) == {"x", "y", "z"}
+
+    def test_dedupe(self):
+        u = table_union(LEFT, LEFT)
+        assert len(u) == 2
+
+
+class TestJoin:
+    def test_natural_join(self):
+        j = table_join(LEFT, RIGHT)
+        assert len(j) == 1
+        assert j.rows[0] == Binding({"x": 1, "y": "a", "z": 10})
+
+    def test_cartesian_when_no_shared(self):
+        j = table_join(T(["a"], {"a": 1}, {"a": 2}), T(["b"], {"b": 3}))
+        assert len(j) == 2
+
+    def test_join_with_unit(self):
+        assert table_join(LEFT, BindingTable.unit()) == LEFT
+        assert table_join(BindingTable.unit(), LEFT) == LEFT
+
+    def test_join_with_empty(self):
+        assert len(table_join(LEFT, BindingTable.empty())) == 0
+
+    def test_partial_row_joins_leniently(self):
+        # A row not binding the shared variable is compatible with all.
+        partial = T(["y", "z"], {"z": 99})
+        j = table_join(LEFT, partial)
+        assert len(j) == 2  # both LEFT rows merge with the partial row
+
+    def test_mixed_partial_and_total(self):
+        right = BindingTable(
+            ["y", "z"], [Binding({"z": 99}), Binding({"y": "a", "z": 1})]
+        )
+        j = table_join(LEFT, right)
+        # {x:1,y:a} joins both rows; {x:2,y:b} joins only the partial.
+        assert len(j) == 3
+
+    def test_commutative_up_to_set(self):
+        assert table_join(LEFT, RIGHT) == table_join(RIGHT, LEFT)
+
+    def test_associative(self):
+        t3 = T(["z", "w"], {"z": 10, "w": True})
+        assert table_join(table_join(LEFT, RIGHT), t3) == table_join(
+            LEFT, table_join(RIGHT, t3)
+        )
+
+
+class TestSemiAnti:
+    def test_semijoin(self):
+        s = table_semijoin(LEFT, RIGHT)
+        assert len(s) == 1 and s.rows[0]["x"] == 1
+
+    def test_antijoin(self):
+        a = table_antijoin(LEFT, RIGHT)
+        assert len(a) == 1 and a.rows[0]["x"] == 2
+
+    def test_semijoin_antijoin_partition(self):
+        s = table_semijoin(LEFT, RIGHT)
+        a = table_antijoin(LEFT, RIGHT)
+        assert len(s) + len(a) == len(LEFT)
+        assert not (set(s.rows) & set(a.rows))
+
+    def test_antijoin_with_empty_right(self):
+        assert table_antijoin(LEFT, BindingTable.empty()) == LEFT
+
+    def test_semijoin_keeps_left_columns(self):
+        s = table_semijoin(LEFT, RIGHT)
+        assert s.columns == LEFT.columns
+
+
+class TestLeftJoin:
+    def test_definition(self):
+        # O1 =|><| O2 = (O1 |><| O2) u (O1 \ O2)
+        lj = table_left_join(LEFT, RIGHT)
+        expected = table_union(
+            table_join(LEFT, RIGHT), table_antijoin(LEFT, RIGHT)
+        )
+        assert lj == expected
+
+    def test_unmatched_rows_stay_partial(self):
+        lj = table_left_join(LEFT, RIGHT)
+        unmatched = [row for row in lj if "z" not in row]
+        assert len(unmatched) == 1 and unmatched[0]["x"] == 2
+
+    def test_left_join_with_empty_right(self):
+        assert table_left_join(LEFT, BindingTable.empty()) == LEFT
+
+    def test_left_join_all_match(self):
+        right = T(["y"], {"y": "a"}, {"y": "b"})
+        lj = table_left_join(LEFT, right)
+        assert lj == LEFT
+
+
+class TestCartesian:
+    def test_product_size(self):
+        p = cartesian_product(T(["a"], {"a": 1}, {"a": 2}),
+                              T(["b"], {"b": 1}, {"b": 2}, {"b": 3}))
+        assert len(p) == 6
+
+    def test_matches_join_when_disjoint(self):
+        t1 = T(["a"], {"a": 1}, {"a": 2})
+        t2 = T(["b"], {"b": 3})
+        assert cartesian_product(t1, t2) == table_join(t1, t2)

@@ -1,0 +1,145 @@
+"""Tests for the deterministic SNB-like generator."""
+
+import pytest
+
+from repro.datasets.generator import (
+    SnbParameters,
+    generate_company_graph,
+    generate_snb_graph,
+)
+from repro.model.schema import snb_schema
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        g1 = generate_snb_graph(SnbParameters(persons=40, seed=3))
+        g2 = generate_snb_graph(SnbParameters(persons=40, seed=3))
+        assert g1 == g2
+
+    def test_different_seed_different_graph(self):
+        g1 = generate_snb_graph(SnbParameters(persons=40, seed=3))
+        g2 = generate_snb_graph(SnbParameters(persons=40, seed=4))
+        assert g1 != g2
+
+    def test_keyword_overrides(self):
+        g = generate_snb_graph(persons=10, seed=1)
+        assert len(g.nodes_with_label("Person")) == 10
+
+    def test_params_and_overrides_conflict(self):
+        with pytest.raises(TypeError):
+            generate_snb_graph(SnbParameters(), persons=3)
+
+
+class TestShape:
+    def test_scales_with_persons(self):
+        small = generate_snb_graph(persons=20, seed=1)
+        large = generate_snb_graph(persons=100, seed=1)
+        assert large.order() > small.order()
+        assert large.size() > small.size()
+
+    def test_knows_ring_connectivity(self):
+        g = generate_snb_graph(persons=30, seed=2, knows_chords=0.0)
+        persons = sorted(g.nodes_with_label("Person"), key=str)
+        # The ring guarantees every person has at least 2 knows neighbours.
+        for person in persons:
+            knows = [
+                e for e in g.out_edges(person) if g.has_label(e, "knows")
+            ]
+            assert len(knows) >= 2
+
+    def test_knows_edges_bidirectional(self):
+        g = generate_snb_graph(persons=25, seed=5)
+        knows_pairs = {
+            g.endpoints(e) for e in g.edges_with_label("knows")
+        }
+        for src, dst in knows_pairs:
+            assert (dst, src) in knows_pairs
+
+    def test_messages_reference_acquainted_authors(self):
+        g = generate_snb_graph(persons=25, seed=5)
+        knows_pairs = {
+            g.endpoints(e) for e in g.edges_with_label("knows")
+        }
+        for edge in g.edges_with_label("reply_of"):
+            msg, parent = g.endpoints(edge)
+            author = next(
+                g.endpoints(e)[1]
+                for e in g.out_edges(msg)
+                if g.has_label(e, "has_creator")
+            )
+            parent_author = next(
+                g.endpoints(e)[1]
+                for e in g.out_edges(parent)
+                if g.has_label(e, "has_creator")
+            )
+            if author != parent_author:
+                assert (author, parent_author) in knows_pairs
+
+    def test_schema_conformance(self):
+        g = generate_snb_graph(persons=50, seed=7)
+        assert snb_schema().validate(g) == []
+
+    def test_multi_valued_employers_exist(self):
+        g = generate_snb_graph(persons=200, seed=11,
+                               multi_employer_probability=0.3)
+        multi = [
+            n for n in g.nodes_with_label("Person")
+            if len(g.property(n, "employer")) > 1
+        ]
+        assert multi
+
+    def test_unemployed_exist(self):
+        g = generate_snb_graph(persons=200, seed=11,
+                               unemployed_probability=0.3)
+        unemployed = [
+            n for n in g.nodes_with_label("Person")
+            if not g.property(n, "employer")
+        ]
+        assert unemployed
+
+    def test_company_graph_matches_employers(self):
+        params = SnbParameters(persons=30, seed=9)
+        g = generate_snb_graph(params)
+        companies = generate_company_graph(params)
+        company_names = {
+            next(iter(companies.property(n, "name")))
+            for n in companies.nodes
+        }
+        for person in g.nodes_with_label("Person"):
+            for employer in g.property(person, "employer"):
+                assert employer in company_names
+
+
+class TestQueriesOverGenerated:
+    def test_paper_queries_run_at_scale(self):
+        from repro import GCoreEngine
+
+        eng = GCoreEngine()
+        params = SnbParameters(persons=60, seed=13)
+        eng.register_graph("snb", generate_snb_graph(params), default=True)
+        eng.register_graph("companies", generate_company_graph(params))
+        g = eng.run(
+            "CONSTRUCT (c)<-[:worksAt]-(n) "
+            "MATCH (c:Company) ON companies, (n:Person) ON snb "
+            "WHERE c.name IN n.employer"
+        )
+        assert g.edges  # some employment edges exist
+
+    def test_view_pipeline_at_scale(self):
+        from repro import GCoreEngine
+
+        eng = GCoreEngine()
+        eng.register_graph(
+            "snb", generate_snb_graph(persons=40, seed=17), default=True
+        )
+        eng.run(
+            "GRAPH VIEW msg AS (CONSTRUCT snb, (n)-[e]->(m) "
+            "SET e.nr_messages := COUNT(*) "
+            "MATCH (n)-[e:knows]->(m) "
+            "OPTIONAL (n)<-[c1]-(m1:Post|Comment), (m1)-[:reply_of]-(m2), "
+            "(m2:Post|Comment)-[c2]->(m) "
+            "WHERE (c1:has_creator) AND (c2:has_creator))"
+        )
+        view = eng.graph("msg")
+        for edge in view.edges_with_label("knows"):
+            assert view.property(edge, "nr_messages") != frozenset()

@@ -1,0 +1,72 @@
+"""EXISTS subqueries — explicit and implicit (Section 3, Appendix A.2)."""
+
+import pytest
+
+
+class TestImplicitExistential:
+    def test_colocated_pattern(self, engine):
+        table = engine.bindings(
+            "MATCH (n:Person), (m:Person) "
+            "WHERE (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)"
+        )
+        # all 5 persons live in Houston: 25 pairs (homomorphism allows n=m)
+        assert len(table) == 25
+
+    def test_correlated_on_bound_vars(self, engine):
+        table = engine.bindings(
+            "MATCH (n:Person) WHERE (n)-[:hasInterest]->(:Tag {name='Wagner'})"
+        )
+        assert {row["n"] for row in table} == {"celine", "frank"}
+
+    def test_negation(self, engine):
+        table = engine.bindings(
+            "MATCH (n:Person) WHERE NOT (n)-[:hasInterest]->()"
+        )
+        assert {row["n"] for row in table} == {"john", "alice", "peter"}
+
+
+class TestExplicitExists:
+    def test_equivalent_to_implicit(self, engine):
+        implicit = engine.bindings(
+            "MATCH (n:Person), (m:Person) "
+            "WHERE (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)"
+        )
+        explicit = engine.bindings(
+            "MATCH (n:Person), (m:Person) WHERE EXISTS ("
+            "CONSTRUCT () MATCH (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m))"
+        )
+        assert implicit == explicit
+
+    def test_uncorrelated_exists_true(self, engine):
+        table = engine.bindings(
+            "MATCH (n:Tag) WHERE EXISTS (CONSTRUCT (p) MATCH (p:Person))"
+        )
+        assert len(table) == 1
+
+    def test_uncorrelated_exists_false(self, engine):
+        table = engine.bindings(
+            "MATCH (n:Tag) WHERE EXISTS (CONSTRUCT (p) MATCH (p:Ghost))"
+        )
+        assert len(table) == 0
+
+    def test_exists_on_other_graph(self, engine):
+        table = engine.bindings(
+            "MATCH (n:Person {employer=e}) WHERE EXISTS ("
+            "CONSTRUCT (c) MATCH (c:Company) ON company_graph "
+            "WHERE c.name = e)"
+        )
+        assert {row["n"] for row in table} == {
+            "john", "alice", "celine", "frank",
+        }
+
+    def test_nested_exists(self, engine):
+        table = engine.bindings(
+            "MATCH (n:Person) WHERE EXISTS ("
+            "CONSTRUCT (m) MATCH (m:Person) WHERE EXISTS ("
+            "CONSTRUCT (t) MATCH (m)-[:hasInterest]->(t)) "
+            "AND (n)-[:knows]->(m))"
+        )
+        # persons who know someone with an interest: peter (knows celine,
+        # frank), celine & frank (know each other), john? john knows
+        # alice+peter, neither has interests -> john excluded
+        assert {row["n"] for row in table} == {"peter", "celine", "frank"}

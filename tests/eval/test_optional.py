@@ -1,0 +1,92 @@
+"""OPTIONAL semantics tests (Appendix A.2)."""
+
+import pytest
+
+from repro import GCoreEngine, GraphBuilder
+from repro.errors import SemanticError
+
+
+@pytest.fixture()
+def org_engine():
+    """People, some with a workplace, some with a home."""
+    b = GraphBuilder()
+    b.add_node("ann", labels=["Person"], properties={"name": "Ann"})
+    b.add_node("bob", labels=["Person"], properties={"name": "Bob"})
+    b.add_node("cat", labels=["Person"], properties={"name": "Cat"})
+    b.add_node("acme", labels=["Company"])
+    b.add_node("home1", labels=["House"])
+    b.add_edge("ann", "acme", edge_id="w1", labels=["worksAt"])
+    b.add_edge("bob", "home1", edge_id="l1", labels=["livesIn"])
+    b.add_edge("ann", "home1", edge_id="l2", labels=["livesIn"])
+    eng = GCoreEngine()
+    eng.register_graph("org", b.build(), default=True)
+    return eng
+
+
+class TestLeftJoinBehaviour:
+    def test_unmatched_rows_survive(self, org_engine):
+        table = org_engine.bindings(
+            "MATCH (n:Person) OPTIONAL (n)-[:worksAt]->(c)"
+        )
+        assert len(table) == 3
+        bound = {row["n"]: row.get("c") for row in table}
+        assert bound["ann"] == "acme"
+        assert bound["bob"] is None and bound["cat"] is None
+
+    def test_matched_rows_extended(self, org_engine):
+        table = org_engine.bindings(
+            "MATCH (n:Person) OPTIONAL (n)-[:livesIn]->(h)"
+        )
+        homes = {row["n"]: row.get("h") for row in table}
+        assert homes == {"ann": "home1", "bob": "home1", "cat": None}
+
+    def test_two_optionals_commute(self, org_engine):
+        t1 = org_engine.bindings(
+            "MATCH (n:Person) OPTIONAL (n)-[:worksAt]->(c) "
+            "OPTIONAL (n)-[:livesIn]->(h)"
+        )
+        t2 = org_engine.bindings(
+            "MATCH (n:Person) OPTIONAL (n)-[:livesIn]->(h) "
+            "OPTIONAL (n)-[:worksAt]->(c)"
+        )
+        assert t1 == t2  # the paper's order-independence (Section 3)
+
+    def test_optional_with_where(self, org_engine):
+        table = org_engine.bindings(
+            "MATCH (n:Person) OPTIONAL (n)-[e]->(c) WHERE (c:Company)"
+        )
+        bound = {row["n"]: row.get("c") for row in table}
+        assert bound["ann"] == "acme" and bound["bob"] is None
+
+    def test_optional_never_removes_rows(self, org_engine):
+        table = org_engine.bindings(
+            "MATCH (n:Person) OPTIONAL (n)-[:ghost]->(x)"
+        )
+        assert len(table) == 3
+
+    def test_shared_var_restriction_enforced(self, org_engine):
+        # Variables shared by OPTIONAL blocks must occur in the main
+        # pattern (Section 3's syntactic restriction).
+        with pytest.raises(SemanticError):
+            org_engine.bindings(
+                "MATCH (n:Person) OPTIONAL (n)-[:worksAt]->(a) "
+                "OPTIONAL (n)-[:livesIn]->(a)"
+            )
+
+    def test_shared_var_allowed_when_in_main(self, org_engine):
+        table = org_engine.bindings(
+            "MATCH (n:Person), (a) OPTIONAL (n)-[:worksAt]->(a) "
+            "OPTIONAL (n)-[:livesIn]->(a)"
+        )
+        assert table  # no SemanticError; a occurs in the main block
+
+    def test_optional_two_hop_chain(self, org_engine):
+        # A multi-hop chain inside one OPTIONAL block extends bindings.
+        # (Splitting it across two blocks would violate the paper's
+        # shared-variable restriction, which we enforce.)
+        table = org_engine.bindings(
+            "MATCH (n:Person {name='Ann'}) "
+            "OPTIONAL (n)-[:livesIn]->(h)<-[:livesIn]-(roommate)"
+        )
+        roommates = {row.get("roommate") for row in table}
+        assert roommates == {"ann", "bob"}

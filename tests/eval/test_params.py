@@ -1,0 +1,71 @@
+"""Query parameters ($name) — engine.run(..., params=...)."""
+
+import pytest
+
+from repro.errors import EvaluationError, LexerError
+from repro.lang.parser import parse_statement
+from repro.lang.pretty import pretty_statement
+
+
+class TestParams:
+    def test_equality_param(self, engine):
+        g = engine.run(
+            "CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = $emp",
+            params={"emp": "Acme"},
+        )
+        assert g.nodes == {"john", "alice"}
+
+    def test_in_param(self, engine):
+        g = engine.run(
+            "CONSTRUCT (n) MATCH (n:Person) WHERE $emp IN n.employer",
+            params={"emp": "MIT"},
+        )
+        assert g.nodes == {"frank"}
+
+    def test_collection_param(self, engine):
+        g = engine.run(
+            "CONSTRUCT (n) MATCH (n:Person) WHERE n.employer SUBSET OF $set",
+            params={"set": {"CWI", "MIT"}},
+        )
+        assert "frank" in g.nodes
+
+    def test_param_in_construct_assignment(self, engine):
+        g = engine.run(
+            "CONSTRUCT (n {tag := $v}) MATCH (n:Tag)", params={"v": 7}
+        )
+        assert g.property("wagner", "tag") == {7}
+
+    def test_param_visible_in_subquery(self, engine):
+        g = engine.run(
+            "CONSTRUCT (n) MATCH (n:Person) WHERE EXISTS ("
+            "CONSTRUCT (c) MATCH (c:Company) ON company_graph "
+            "WHERE c.name = $emp AND c.name IN n.employer)",
+            params={"emp": "HAL"},
+        )
+        assert g.nodes == {"celine"}
+
+    def test_missing_param_errors(self, engine):
+        with pytest.raises(EvaluationError):
+            engine.run(
+                "CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = $emp"
+            )
+
+    def test_same_statement_different_params(self, engine):
+        statement = engine.parse(
+            "CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = $emp"
+        )
+        acme = engine.run(statement, params={"emp": "Acme"})
+        hal = engine.run(statement, params={"emp": "HAL"})
+        assert acme.nodes == {"john", "alice"}
+        assert hal.nodes == {"celine"}
+
+
+class TestParamSyntax:
+    def test_round_trip(self):
+        text = "CONSTRUCT (n) MATCH (n) WHERE n.a = $x AND $y IN n.b"
+        statement = parse_statement(text)
+        assert parse_statement(pretty_statement(statement)) == statement
+
+    def test_dollar_without_name_rejected(self):
+        with pytest.raises(LexerError):
+            parse_statement("CONSTRUCT (n) MATCH (n) WHERE n.a = $")

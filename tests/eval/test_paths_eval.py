@@ -1,0 +1,124 @@
+"""MATCH path-pattern evaluation: SHORTEST / k SHORTEST / ALL / reachability."""
+
+import pytest
+
+from repro import GCoreEngine, GraphBuilder
+from repro.errors import SemanticError
+from repro.paths.walk import Walk
+
+
+@pytest.fixture()
+def chain_engine():
+    """a -k-> b -k-> c -k-> d plus shortcut a -k-> c."""
+    b = GraphBuilder()
+    for n in "abcd":
+        b.add_node(n, labels=["N"], properties={"name": n})
+    b.add_edge("a", "b", edge_id="ab", labels=["k"])
+    b.add_edge("b", "c", edge_id="bc", labels=["k"])
+    b.add_edge("c", "d", edge_id="cd", labels=["k"])
+    b.add_edge("a", "c", edge_id="ac", labels=["k"])
+    eng = GCoreEngine()
+    eng.register_graph("g", b.build(), default=True)
+    return eng
+
+
+class TestShortest:
+    def test_binds_walk_and_cost(self, chain_engine):
+        table = chain_engine.bindings(
+            "MATCH (a {name='a'})-/p<:k*> COST c/->(d {name='d'})"
+        )
+        assert len(table) == 1
+        row = table.rows[0]
+        assert isinstance(row["p"], Walk)
+        assert row["p"].sequence == ("a", "ac", "c", "cd", "d")
+        assert row["c"] == 2
+
+    def test_cost_defaults_to_hop_count(self, chain_engine):
+        table = chain_engine.bindings(
+            "MATCH (a {name='a'})-/p<:k*> COST c/->(b {name='b'})"
+        )
+        assert table.rows[0]["c"] == 1
+
+    def test_expands_unbound_target(self, chain_engine):
+        table = chain_engine.bindings("MATCH (a {name='a'})-/p<:k*>/->(m)")
+        assert {row["m"] for row in table} == {"a", "b", "c", "d"}
+
+    def test_incoming_direction(self, chain_engine):
+        table = chain_engine.bindings(
+            "MATCH (d {name='d'})<-/p<:k*>/-(a {name='a'})"
+        )
+        (row,) = table.rows
+        assert row["p"].source == "a" and row["p"].target == "d"
+
+    def test_k_shortest_multiplicity(self, chain_engine):
+        table = chain_engine.bindings(
+            "MATCH (a {name='a'})-/2 SHORTEST p<:k*>/->(c {name='c'})"
+        )
+        costs = sorted(row["p"].cost for row in table)
+        assert costs == [1, 2]  # a-c direct and a-b-c
+
+    def test_k_larger_than_available(self, chain_engine):
+        table = chain_engine.bindings(
+            "MATCH (a {name='a'})-/5 SHORTEST p<:k*>/->(b {name='b'})"
+        )
+        assert len(table) == 1  # DAG: only one walk a->b
+
+
+class TestReachability:
+    def test_filters_pairs(self, chain_engine):
+        table = chain_engine.bindings(
+            "MATCH (x {name='b'})-/<:k*>/->(y:N)"
+        )
+        assert {row["y"] for row in table} == {"b", "c", "d"}
+
+    def test_no_path_variable_bound(self, chain_engine):
+        table = chain_engine.bindings("MATCH (x {name='a'})-/<:k*>/->(y)")
+        assert set(table.columns) == {"x", "y"}
+
+
+class TestAllPaths:
+    def test_handle_projection(self, chain_engine):
+        g = chain_engine.run(
+            "CONSTRUCT (a)-/p/->(d) "
+            "MATCH (a {name='a'})-/ALL p<:k*>/->(d {name='d'})"
+        )
+        assert g.nodes == {"a", "b", "c", "d"}
+        assert g.edges == {"ab", "bc", "cd", "ac"}
+        assert g.paths == frozenset()  # projection, not storage
+
+    def test_all_var_in_where_rejected(self, chain_engine):
+        with pytest.raises(SemanticError):
+            chain_engine.bindings(
+                "MATCH (a)-/ALL p<:k*>/->(d) WHERE length(p) > 1"
+            )
+
+    def test_storing_all_rejected(self, chain_engine):
+        with pytest.raises(SemanticError):
+            chain_engine.run(
+                "CONSTRUCT (a)-/@p/->(d) MATCH (a {name='a'})-/ALL p<:k*>/->(d)"
+            )
+
+
+class TestStoredPathMatch:
+    def test_match_by_label(self, figure2_engine):
+        table = figure2_engine.bindings("MATCH (x)-/@p:toWagner/->(y)")
+        (row,) = table.rows
+        assert row["p"] == 301 and row["x"] == 105 and row["y"] == 102
+
+    def test_stored_path_direction(self, figure2_engine):
+        table = figure2_engine.bindings("MATCH (x)<-/@p:toWagner/-(y)")
+        (row,) = table.rows
+        assert row["x"] == 102 and row["y"] == 105
+
+    def test_no_label_matches_all_stored(self, figure2_engine):
+        table = figure2_engine.bindings("MATCH (x)-/@p/->(y)")
+        assert len(table) == 1
+
+    def test_wrong_label_no_match(self, figure2_engine):
+        assert len(figure2_engine.bindings("MATCH (x)-/@p:other/->(y)")) == 0
+
+    def test_path_functions_on_stored(self, figure2_engine):
+        table = figure2_engine.bindings(
+            "MATCH (x)-/@p:toWagner/->(y) WHERE length(p) = 2"
+        )
+        assert len(table) == 1

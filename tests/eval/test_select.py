@@ -1,0 +1,122 @@
+"""SELECT (tabular projection) tests — Section 5."""
+
+import pytest
+
+from repro.table import Table
+
+
+class TestProjection:
+    def test_simple_projection(self, engine):
+        t = engine.run("SELECT n.firstName AS first MATCH (n:Person)")
+        assert isinstance(t, Table)
+        assert t.columns == ("first",)
+        assert set(t.column("first")) == {
+            "John", "Alice", "Celine", "Peter", "Frank",
+        }
+
+    def test_string_concatenation(self, engine):
+        t = engine.run(
+            "SELECT m.lastName + ', ' + m.firstName AS friendName "
+            "MATCH (m:Person) WHERE m.employer = 'HAL'"
+        )
+        assert t.rows == (("Mayer, Celine",),)
+
+    def test_default_column_name_is_expression(self, engine):
+        t = engine.run("SELECT n.firstName MATCH (n:Person) LIMIT 1")
+        assert t.columns == ("n.firstName",)
+
+    def test_multivalued_cell(self, engine):
+        t = engine.run(
+            "SELECT n.employer AS e MATCH (n:Person) WHERE n.firstName = 'Frank'"
+        )
+        assert t.rows[0][0] == frozenset({"CWI", "MIT"})
+
+    def test_absent_property_is_null_cell(self, engine):
+        t = engine.run(
+            "SELECT n.employer AS e MATCH (n:Person) WHERE n.firstName = 'Peter'"
+        )
+        assert t.rows[0][0] is None
+
+
+class TestModifiers:
+    def test_distinct(self, engine):
+        t = engine.run("SELECT DISTINCT e MATCH (n:Person {employer=e})")
+        assert len(t) == 4  # Acme, HAL, CWI, MIT (Acme deduplicated)
+
+    def test_order_by(self, engine):
+        t = engine.run(
+            "SELECT n.firstName AS f MATCH (n:Person) ORDER BY f"
+        )
+        assert list(t.column("f")) == sorted(t.column("f"))
+
+    def test_order_by_desc(self, engine):
+        t = engine.run(
+            "SELECT n.firstName AS f MATCH (n:Person) ORDER BY f DESC"
+        )
+        assert list(t.column("f")) == sorted(t.column("f"), reverse=True)
+
+    def test_limit_offset(self, engine):
+        t_all = engine.run("SELECT n.firstName AS f MATCH (n:Person) ORDER BY f")
+        t = engine.run(
+            "SELECT n.firstName AS f MATCH (n:Person) ORDER BY f LIMIT 2 OFFSET 1"
+        )
+        assert list(t.column("f")) == list(t_all.column("f"))[1:3]
+
+    def test_order_by_non_projected_expression(self, engine):
+        t = engine.run(
+            "SELECT n.firstName AS f MATCH (n:Person) ORDER BY n.lastName"
+        )
+        assert len(t) == 5
+
+
+class TestAggregation:
+    def test_implicit_single_group(self, engine):
+        t = engine.run("SELECT COUNT(*) AS c MATCH (n:Person)")
+        assert t.rows == ((5,),)
+
+    def test_group_by(self, engine):
+        t = engine.run(
+            "SELECT e AS employer, COUNT(*) AS c "
+            "MATCH (n:Person {employer=e}) GROUP BY e ORDER BY employer"
+        )
+        assert t.rows == (("Acme", 2), ("CWI", 1), ("HAL", 1), ("MIT", 1))
+
+    def test_count_distinct(self, engine):
+        t = engine.run(
+            "SELECT COUNT(DISTINCT m.name) AS cities "
+            "MATCH (n:Person)-[:isLocatedIn]->(m)"
+        )
+        assert t.rows == ((1,),)
+
+    def test_sum_avg_min_max(self, tiny_engine):
+        t = tiny_engine.run(
+            "SELECT SUM(e.w) AS s, AVG(e.w) AS a, MIN(e.w) AS lo, "
+            "MAX(e.w) AS hi MATCH (x)-[e]->(y)"
+        )
+        assert t.rows == ((10, 2.5, 1, 4),)
+
+    def test_collect(self, tiny_engine):
+        t = tiny_engine.run(
+            "SELECT COLLECT(m.name) AS names MATCH (a:Start)-[e]->(m)"
+        )
+        assert set(t.rows[0][0]) == {"b", "c"}
+
+    def test_group_by_with_having_via_order(self, tiny_engine):
+        t = tiny_engine.run(
+            "SELECT x.name AS src, COUNT(*) AS fanout "
+            "MATCH (x)-[e]->(y) GROUP BY x.name ORDER BY fanout DESC, src"
+        )
+        assert t.rows[0] == ("a", 2)
+
+
+class TestSelectFromTable:
+    def test_select_from_orders(self, engine):
+        t = engine.run(
+            "SELECT custName AS c, COUNT(*) AS n FROM orders GROUP BY c ORDER BY c"
+        )
+        assert t.rows == (("Alice", 2), ("Bob", 2), ("Carol", 2))
+
+    def test_pretty_rendering(self, engine):
+        t = engine.run("SELECT n.firstName AS f MATCH (n:Person) ORDER BY f")
+        text = t.pretty()
+        assert "f" in text and "Alice" in text

@@ -1,0 +1,116 @@
+"""GRAPH VIEW / local GRAPH clauses / set operations on graphs (A.5, A.6)."""
+
+import pytest
+
+from repro.errors import SemanticError, UnknownGraphError
+from repro.eval.query import ViewResult
+
+
+class TestGraphViews:
+    def test_view_registration_returns_result(self, engine):
+        result = engine.run(
+            "GRAPH VIEW persons AS (CONSTRUCT (n) MATCH (n:Person))"
+        )
+        assert isinstance(result, ViewResult)
+        assert result.name == "persons"
+        assert len(result.graph.nodes) == 5
+
+    def test_view_queryable_by_name(self, engine):
+        engine.run("GRAPH VIEW persons AS (CONSTRUCT (n) MATCH (n:Person))")
+        table = engine.bindings("MATCH (n) ON persons")
+        assert len(table) == 5
+
+    def test_view_on_view(self, engine):
+        engine.run("GRAPH VIEW persons AS (CONSTRUCT (n) MATCH (n:Person))")
+        engine.run(
+            "GRAPH VIEW acme AS (CONSTRUCT (n) MATCH (n) ON persons "
+            "WHERE n.employer = 'Acme')"
+        )
+        assert engine.graph("acme").nodes == {"john", "alice"}
+
+    def test_view_usable_in_union(self, engine):
+        engine.run("GRAPH VIEW tags AS (CONSTRUCT (t) MATCH (t:Tag))")
+        g = engine.run("CONSTRUCT (n) MATCH (n:Person) UNION tags")
+        assert "wagner" in g.nodes and "john" in g.nodes
+
+
+class TestLocalGraphClause:
+    def test_local_binding_visible_in_body(self, engine):
+        g = engine.run(
+            "GRAPH tmp AS (CONSTRUCT (n) MATCH (n:Person)) "
+            "CONSTRUCT (m) MATCH (m) ON tmp WHERE m.employer = 'HAL'"
+        )
+        assert g.nodes == {"celine"}
+
+    def test_local_binding_not_persistent(self, engine):
+        engine.run(
+            "GRAPH tmp AS (CONSTRUCT (n) MATCH (n:Person)) "
+            "CONSTRUCT (m) MATCH (m) ON tmp"
+        )
+        with pytest.raises(UnknownGraphError):
+            engine.graph("tmp")
+
+    def test_local_shadows_catalog(self, engine):
+        g = engine.run(
+            "GRAPH company_graph AS (CONSTRUCT (t) MATCH (t:Tag)) "
+            "CONSTRUCT (x) MATCH (x) ON company_graph"
+        )
+        assert g.nodes == {"wagner"}
+
+
+class TestSetOperations:
+    def test_union_respects_identity(self, engine):
+        g = engine.run(
+            "CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = 'Acme' "
+            "UNION social_graph"
+        )
+        base = engine.graph("social_graph")
+        assert g.nodes == base.nodes
+        assert g.edges == base.edges
+
+    def test_intersect_queries(self, engine):
+        g = engine.run(
+            "(CONSTRUCT (n) MATCH (n:Person)) INTERSECT "
+            "(CONSTRUCT (m) MATCH (m) WHERE m.employer = 'Acme')"
+        )
+        assert g.nodes == {"john", "alice"}
+
+    def test_minus_removes_identities(self, engine):
+        g = engine.run(
+            "social_graph MINUS (CONSTRUCT (n) MATCH (n:Person))"
+        )
+        assert "john" not in g.nodes
+        assert "wagner" in g.nodes
+        # knows edges lost their endpoints
+        assert not [e for e in g.edges if g.has_label(e, "knows")]
+
+    def test_graph_reference_query(self, engine):
+        g = engine.run("social_graph")
+        assert g == engine.graph("social_graph")
+
+    def test_set_op_on_select_rejected(self, engine):
+        with pytest.raises(SemanticError):
+            engine.run("(SELECT n.a MATCH (n)) UNION social_graph")
+
+    def test_three_way_ops(self, engine):
+        g = engine.run(
+            "(CONSTRUCT (n) MATCH (n:Person)) "
+            "MINUS (CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = 'Acme') "
+            "MINUS (CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = 'HAL')"
+        )
+        assert g.nodes == {"peter", "frank"}
+
+
+class TestComposability:
+    def test_output_registered_and_requeried(self, engine):
+        g = engine.run("CONSTRUCT (n) MATCH (n:Person)")
+        engine.register_graph("just_persons", g)
+        table = engine.bindings("MATCH (x) ON just_persons")
+        assert len(table) == 5
+
+    def test_on_subquery_location(self, engine):
+        table = engine.bindings(
+            "MATCH (x) ON (CONSTRUCT (n) MATCH (n:Person) "
+            "WHERE n.employer = 'HAL')"
+        )
+        assert {row["x"] for row in table} == {"celine"}

@@ -1,0 +1,99 @@
+"""Tests for the analytics companion module and view refresh."""
+
+import pytest
+
+from repro import GCoreEngine, GraphBuilder, UnknownGraphError
+from repro.algorithms import (
+    component_of,
+    connected_components,
+    degree_histogram,
+    graph_summary,
+    label_histogram,
+)
+from repro.datasets import social_graph
+
+
+class TestComponents:
+    def test_single_component_social(self, social):
+        # persons + city + tag + messages all hang together
+        components = connected_components(social)
+        assert len(components) == 1
+
+    def test_label_restricted_components(self, social):
+        components = connected_components(social, labels=frozenset({"knows"}))
+        # knows edges connect the 5 persons; everything else is isolated
+        sizes = sorted(len(c) for c in components)
+        assert max(sizes) == 5
+
+    def test_two_islands(self):
+        b = GraphBuilder()
+        for n in "abcd":
+            b.add_node(n)
+        b.add_edge("a", "b", labels=["x"])
+        b.add_edge("c", "d", labels=["x"])
+        components = connected_components(b.build())
+        assert [sorted(map(str, c)) for c in components] == [
+            ["a", "b"], ["c", "d"],
+        ]
+
+    def test_component_of(self, social):
+        assert "peter" in component_of(
+            social, "john", labels=frozenset({"knows"})
+        )
+        assert "wagner" not in component_of(
+            social, "john", labels=frozenset({"knows"})
+        )
+
+    def test_deterministic_order(self, social):
+        assert connected_components(social) == connected_components(social)
+
+
+class TestHistograms:
+    def test_degree_histogram(self):
+        b = GraphBuilder()
+        for n in "abc":
+            b.add_node(n)
+        b.add_edge("a", "b")
+        hist = degree_histogram(b.build())
+        assert hist == {0: 1, 1: 2}
+
+    def test_label_histogram(self, social):
+        hist = label_histogram(social)
+        assert hist["Person"] == 5
+        assert hist["knows"] == 10
+
+    def test_summary_mentions_counts(self, social):
+        text = graph_summary(social)
+        assert "nodes" in text and "Person x5" in text
+
+
+class TestViewRefresh:
+    def test_refresh_picks_up_new_base(self):
+        engine = GCoreEngine()
+        engine.register_graph("base", social_graph(), default=True)
+        engine.run("GRAPH VIEW persons AS (CONSTRUCT (n) MATCH (n:Person) ON base)")
+        assert len(engine.graph("persons").nodes) == 5
+
+        # Re-register a shrunken base; the view is stale until refreshed.
+        shrunk = engine.run(
+            "CONSTRUCT (n) MATCH (n:Person) ON base WHERE n.employer = 'Acme'"
+        )
+        engine.register_graph("base", shrunk)
+        assert len(engine.graph("persons").nodes) == 5  # stale
+        refreshed = engine.refresh_view("persons")
+        assert len(refreshed.nodes) == 2
+        assert len(engine.graph("persons").nodes) == 2
+
+    def test_refresh_unknown_view(self, engine):
+        with pytest.raises(UnknownGraphError):
+            engine.refresh_view("mystery")
+
+    def test_refresh_view_over_view(self):
+        engine = GCoreEngine()
+        engine.register_graph("base", social_graph(), default=True)
+        engine.run("GRAPH VIEW v1 AS (CONSTRUCT (n) MATCH (n:Person) ON base)")
+        engine.run("GRAPH VIEW v2 AS (CONSTRUCT (n) MATCH (n) ON v1 "
+                   "WHERE n.employer = 'HAL')")
+        assert engine.graph("v2").nodes == {"celine"}
+        refreshed = engine.refresh_view("v2")
+        assert refreshed.nodes == {"celine"}

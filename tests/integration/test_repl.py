@@ -1,0 +1,57 @@
+"""Smoke tests for the interactive shell (python -m repro)."""
+
+import io
+import subprocess
+import sys
+
+import pytest
+
+
+def run_shell(script: str) -> str:
+    process = subprocess.run(
+        [sys.executable, "-m", "repro"],
+        input=script,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert process.returncode == 0, process.stderr
+    return process.stdout
+
+
+class TestShell:
+    def test_query_and_composability(self):
+        out = run_shell(
+            "CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = 'Acme'\n"
+            "SELECT n.firstName AS f MATCH (n) ON last ORDER BY f\n"
+            ".quit\n"
+        )
+        assert "alice" in out and "john" in out
+        assert "Alice" in out and "John" in out
+
+    def test_dot_graphs(self):
+        out = run_shell(".graphs\n.quit\n")
+        assert "social_graph" in out and "orders" in out
+
+    def test_error_reported_not_fatal(self):
+        out = run_shell("CONSTRUCT MATCH\nSELECT 1 AS one MATCH (n:Tag)\n.quit\n")
+        assert "error:" in out
+        assert "one" in out  # the shell kept going
+
+    def test_multiline_continuation(self):
+        out = run_shell(
+            "CONSTRUCT (n) \\\nMATCH (n:Tag)\n.quit\n"
+        )
+        assert "wagner" in out
+
+    def test_explain_command(self):
+        out = run_shell(".explain CONSTRUCT (n) MATCH (n:Person)\n.quit\n")
+        assert "CONSTRUCT" in out and "MATCH" in out
+
+    def test_view_registration(self):
+        out = run_shell(
+            "GRAPH VIEW v AS (CONSTRUCT (t) MATCH (t:Tag))\n"
+            ".show v\n.quit\n"
+        )
+        assert "view v registered" in out
+        assert "wagner" in out

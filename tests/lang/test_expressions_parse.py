@@ -1,0 +1,142 @@
+"""Expression grammar tests (precedence, functions, CASE, lists)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.parser import parse_expression
+
+
+class TestPrecedence:
+    def test_or_lower_than_and(self):
+        e = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert e.op == "or"
+        assert e.right.op == "and"
+
+    def test_not_binds_tighter_than_and(self):
+        e = parse_expression("NOT a = 1 AND b = 2")
+        assert e.op == "and"
+        assert isinstance(e.left, ast.Unary)
+
+    def test_arithmetic_precedence(self):
+        e = parse_expression("1 + 2 * 3")
+        assert e.op == "+" and e.right.op == "*"
+
+    def test_parentheses_override(self):
+        e = parse_expression("(1 + 2) * 3")
+        assert e.op == "*" and e.left.op == "+"
+
+    def test_comparison_of_sums(self):
+        e = parse_expression("a.x + 1 < b.y - 2")
+        assert e.op == "<" and e.left.op == "+" and e.right.op == "-"
+
+    def test_unary_minus(self):
+        e = parse_expression("-a.x + 1")
+        assert e.op == "+" and isinstance(e.left, ast.Unary)
+
+    def test_division_chain_left_assoc(self):
+        e = parse_expression("8 / 4 / 2")
+        assert e.op == "/" and e.left.op == "/"
+
+
+class TestOperators:
+    def test_in(self):
+        e = parse_expression("c.name IN n.employer")
+        assert e.op == "in"
+
+    def test_subset_of(self):
+        e = parse_expression("a.x SUBSET OF b.y")
+        assert e.op == "subset"
+
+    def test_subset_without_of(self):
+        e = parse_expression("a.x SUBSET b.y")
+        assert e.op == "subset"
+
+    def test_neq_both_spellings(self):
+        assert parse_expression("a <> b").op == "<>"
+        assert parse_expression("a != b").op == "<>"
+
+    def test_not_in(self):
+        e = parse_expression("NOT 'Acme' IN y.employer")
+        assert isinstance(e, ast.Unary) and e.operand.op == "in"
+
+    def test_xor(self):
+        assert parse_expression("a XOR b").op == "xor"
+
+
+class TestPostfix:
+    def test_property_access(self):
+        e = parse_expression("n.employer")
+        assert e == ast.Prop(ast.Var("n"), "employer")
+
+    def test_chained_property(self):
+        e = parse_expression("nodes(p)[1].name")
+        assert isinstance(e, ast.Prop)
+        assert isinstance(e.base, ast.Index)
+
+    def test_indexing(self):
+        e = parse_expression("nodes(p)[1]")
+        assert isinstance(e, ast.Index)
+        assert e.index == ast.Literal(1)
+
+    def test_label_postfix(self):
+        e = parse_expression("n:Person")
+        assert e == ast.LabelTest("n", ("Person",))
+
+    def test_label_disjunction_postfix(self):
+        e = parse_expression("m:Post|Comment")
+        assert e == ast.LabelTest("m", ("Post", "Comment"))
+
+    def test_label_conjunction_postfix(self):
+        e = parse_expression("m:A:B")
+        assert e.op == "and"
+
+
+class TestCallsAndLiterals:
+    def test_count_star(self):
+        e = parse_expression("COUNT(*)")
+        assert e.star and e.name == "COUNT"
+
+    def test_count_distinct(self):
+        e = parse_expression("count(DISTINCT n.a)")
+        assert e.distinct
+
+    def test_function_args(self):
+        e = parse_expression("coalesce(a.x, b.y, 0)")
+        assert len(e.args) == 3
+
+    def test_boolean_literals(self):
+        assert parse_expression("TRUE") == ast.Literal(True)
+        assert parse_expression("FALSE") == ast.Literal(False)
+
+    def test_string_concat(self):
+        e = parse_expression("m.lastName + ', ' + m.firstName")
+        assert e.op == "+"
+
+    def test_list_literal(self):
+        e = parse_expression("[1, 2, 3]")
+        assert e == ast.ListLiteral(
+            (ast.Literal(1), ast.Literal(2), ast.Literal(3))
+        )
+
+    def test_empty_list(self):
+        assert parse_expression("[]") == ast.ListLiteral(())
+
+    def test_case_when(self):
+        e = parse_expression(
+            "CASE WHEN size(n.employer) = 0 THEN 'none' ELSE n.employer END"
+        )
+        assert isinstance(e, ast.CaseExpr)
+        assert len(e.whens) == 1 and e.default is not None
+
+    def test_case_multiple_whens_no_else(self):
+        e = parse_expression("CASE WHEN a THEN 1 WHEN b THEN 2 END")
+        assert len(e.whens) == 2 and e.default is None
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse_expression("CASE ELSE 1 END")
+
+    def test_malformed_expression(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 +")

@@ -1,0 +1,141 @@
+"""Unit tests for the hand-written lexer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.lang.lexer import Token, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop EOF
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)][:-1]
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        assert texts("construct MATCH Where") == ["CONSTRUCT", "MATCH", "WHERE"]
+
+    def test_identifiers_are_case_sensitive(self):
+        tokens = tokenize("social_Graph")
+        assert tokens[0].kind == "IDENT" and tokens[0].text == "social_Graph"
+
+    def test_keyword_prefix_identifier(self):
+        # 'Matched' must not lex as MATCH + ed.
+        tokens = tokenize("Matched")
+        assert tokens[0].kind == "IDENT"
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+    def test_positions(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_comment_skipped(self):
+        assert kinds("a # trailing comment\nb") == ["IDENT", "IDENT"]
+
+    def test_is_keyword_helper(self):
+        token = tokenize("MATCH")[0]
+        assert token.is_keyword("MATCH") and not token.is_keyword("WHERE")
+
+
+class TestNumbers:
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.kind == "NUMBER" and token.value == 42
+
+    def test_float(self):
+        token = tokenize("0.95")[0]
+        assert token.value == 0.95
+
+    def test_scientific(self):
+        token = tokenize("1e3")[0]
+        assert token.value == 1000.0
+
+    def test_negative_is_dash_then_number(self):
+        assert kinds("-5") == ["DASH", "NUMBER"]
+
+    def test_dot_not_swallowed(self):
+        # n.k must lex as IDENT DOT IDENT, and 1..2 would be weird anyway
+        assert kinds("n.employer") == ["IDENT", "DOT", "IDENT"]
+
+
+class TestStrings:
+    def test_single_quotes(self):
+        assert tokenize("'Acme'")[0].value == "Acme"
+
+    def test_double_quotes(self):
+        assert tokenize('"Acme"')[0].value == "Acme"
+
+    def test_doubled_quote_escape(self):
+        assert tokenize("'O''Hara'")[0].value == "O'Hara"
+
+    def test_backslash_escape(self):
+        assert tokenize(r"'a\'b'")[0].value == "a'b"
+        assert tokenize(r"'tab\there'")[0].value == "tab\there"
+
+    def test_unterminated_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+    def test_newline_in_string_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("'a\nb'")
+
+    def test_backtick_identifier(self):
+        token = tokenize("`weird label`")[0]
+        assert token.kind == "IDENT" and token.text == "weird label"
+
+    def test_unterminated_backtick(self):
+        with pytest.raises(LexerError):
+            tokenize("`oops")
+
+
+class TestPunctuation:
+    def test_two_char_operators(self):
+        assert kinds(":= <> != <= >=") == ["ASSIGN", "NEQ", "NEQ", "LE", "GE"]
+
+    def test_edge_arrow_atoms(self):
+        # Arrows are NOT fused; the parser reassembles them.
+        assert kinds("-[") == ["DASH", "LBRACKET"]
+        assert kinds("]->") == ["RBRACKET", "DASH", "GT"]
+        assert kinds("<-[") == ["LT", "DASH", "LBRACKET"]
+        assert kinds("-/") == ["DASH", "SLASH"]
+        assert kinds("/->") == ["SLASH", "DASH", "GT"]
+
+    def test_comparison_vs_arrow_ambiguity(self):
+        # x < -1 must stay comparison + negation.
+        assert kinds("x < -1") == ["IDENT", "LT", "DASH", "NUMBER"]
+
+    def test_regex_tokens(self):
+        assert kinds("<:knows*>") == ["LT", "COLON", "IDENT", "STAR", "GT"]
+        assert kinds("~wKnows") == ["TILDE", "IDENT"]
+        assert kinds("!Person") == ["BANG", "IDENT"]
+
+    def test_at_and_braces(self):
+        assert kinds("@p {k := 1}") == [
+            "AT", "IDENT", "LBRACE", "IDENT", "ASSIGN", "NUMBER", "RBRACE",
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError):
+            tokenize("$")
+
+
+class TestRealQueries:
+    def test_paper_query_lexes(self):
+        text = "CONSTRUCT (n) MATCH (n:Person) ON social_graph WHERE n.employer = 'Acme'"
+        token_kinds = kinds(text)
+        assert token_kinds[0] == "KEYWORD"
+        assert "STRING" in token_kinds
+
+    def test_path_pattern_lexes(self):
+        text = "-/3 SHORTEST p<:knows*> COST c/->"
+        assert kinds(text) == [
+            "DASH", "SLASH", "NUMBER", "KEYWORD", "IDENT", "LT", "COLON",
+            "IDENT", "STAR", "GT", "KEYWORD", "IDENT", "SLASH", "DASH", "GT",
+        ]

@@ -1,0 +1,142 @@
+"""CSV import/export tests."""
+
+import io
+
+import pytest
+
+from repro.datasets import social_graph
+from repro.errors import GraphModelError
+from repro.model.io_csv import (
+    dump_graph_csv,
+    dump_table_csv,
+    format_cell,
+    load_graph_csv,
+    load_table_csv,
+    parse_cell,
+)
+from repro.model.values import Date
+from repro.table import Table
+
+NODES_CSV = """id,labels,name,age,employer
+n1,Person,Ann,34,Acme
+n2,Person;Manager,Bob,41,CWI;MIT
+n3,Tag,Wagner,,
+"""
+
+EDGES_CSV = """id,source,target,labels,since
+e1,n1,n2,knows,2014-12-01
+e2,n2,n3,hasInterest,
+"""
+
+
+class TestCells:
+    def test_parse_types(self):
+        assert parse_cell("42") == 42
+        assert parse_cell("2.5") == 2.5
+        assert parse_cell("true") is True
+        assert parse_cell("False") is False
+        assert parse_cell("2014-12-01") == Date(2014, 12, 1)
+        assert parse_cell("hello") == "hello"
+        assert parse_cell("") is None
+
+    def test_parse_multivalued(self):
+        assert parse_cell("CWI;MIT") == frozenset({"CWI", "MIT"})
+        assert parse_cell("1;2") == frozenset({1, 2})
+
+    def test_format_round_trips(self):
+        for value in (42, 2.5, True, False, "x", Date(2020, 1, 2)):
+            assert parse_cell(format_cell(value)) == value
+        assert parse_cell(format_cell(frozenset({"CWI", "MIT"}))) == frozenset(
+            {"CWI", "MIT"}
+        )
+
+
+class TestGraphCsv:
+    def load(self):
+        return load_graph_csv(
+            io.StringIO(NODES_CSV), io.StringIO(EDGES_CSV), name="csvg"
+        )
+
+    def test_nodes_loaded(self):
+        g = self.load()
+        assert g.nodes == {"n1", "n2", "n3"}
+        assert g.labels("n2") == {"Person", "Manager"}
+        assert g.property("n1", "age") == {34}
+        assert g.property("n2", "employer") == {"CWI", "MIT"}
+        assert g.property("n3", "age") == frozenset()  # empty cell absent
+
+    def test_edges_loaded(self):
+        g = self.load()
+        assert g.endpoints("e1") == ("n1", "n2")
+        assert g.has_label("e2", "hasInterest")
+        assert g.property("e1", "since") == {Date(2014, 12, 1)}
+
+    def test_missing_id_rejected(self):
+        with pytest.raises(GraphModelError):
+            load_graph_csv(io.StringIO("id,labels\n,Person\n"))
+
+    def test_missing_endpoint_rejected(self):
+        with pytest.raises(GraphModelError):
+            load_graph_csv(
+                io.StringIO("id,labels\nn1,\n"),
+                io.StringIO("id,source,target,labels\ne1,n1,,x\n"),
+            )
+
+    def test_round_trip(self):
+        g = self.load()
+        nodes_out, edges_out = io.StringIO(), io.StringIO()
+        dump_graph_csv(g, nodes_out, edges_out)
+        nodes_out.seek(0)
+        edges_out.seek(0)
+        restored = load_graph_csv(nodes_out, edges_out)
+        assert restored == g
+
+    def test_paths_not_representable(self):
+        g = social_graph()
+        from repro.model.builder import GraphBuilder
+
+        b = GraphBuilder()
+        b.merge_graph(g)
+        b.add_path(
+            ["john", "knows_john_peter", "peter"], path_id="p1"
+        )
+        with pytest.raises(GraphModelError):
+            dump_graph_csv(b.build(), io.StringIO(), io.StringIO())
+
+    def test_loaded_graph_is_queryable(self):
+        from repro import GCoreEngine
+
+        engine = GCoreEngine()
+        engine.register_graph("csvg", self.load(), default=True)
+        table = engine.bindings("MATCH (n:Person)-[e:knows]->(m)")
+        assert len(table) == 1
+
+
+class TestTableCsv:
+    def test_load(self):
+        table = load_table_csv(
+            io.StringIO("custName,qty\nAlice,2\nBob,5\n"), name="orders"
+        )
+        assert table.columns == ("custName", "qty")
+        assert table.rows == (("Alice", 2), ("Bob", 5))
+
+    def test_empty(self):
+        assert len(load_table_csv(io.StringIO(""))) == 0
+
+    def test_round_trip(self):
+        table = Table(("a", "b"), [(1, "x"), (2, None)])
+        out = io.StringIO()
+        dump_table_csv(table, out)
+        out.seek(0)
+        assert load_table_csv(out) == table
+
+    def test_file_paths(self, tmp_path):
+        nodes = tmp_path / "nodes.csv"
+        edges = tmp_path / "edges.csv"
+        nodes.write_text(NODES_CSV)
+        edges.write_text(EDGES_CSV)
+        g = load_graph_csv(str(nodes), str(edges))
+        assert g.order() == 3
+        out_n, out_e = tmp_path / "n2.csv", tmp_path / "e2.csv"
+        dump_graph_csv(g, str(out_n), str(out_e))
+        assert load_graph_csv(str(out_n), str(out_e)) == g

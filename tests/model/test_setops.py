@@ -1,0 +1,160 @@
+"""Unit tests for the full-graph set operations (Appendix A.5)."""
+
+from repro.model.builder import GraphBuilder
+from repro.model.setops import (
+    empty_graph,
+    graph_difference,
+    graph_intersect,
+    graph_union,
+)
+
+
+def make(nodes=(), edges=(), paths=(), labels=None, props=None):
+    b = GraphBuilder()
+    for n in nodes:
+        b.add_node(n)
+    for e, s, d in edges:
+        b.add_edge(s, d, edge_id=e)
+    for p, seq in paths:
+        b.add_path(seq, path_id=p)
+    for obj, ls in (labels or {}).items():
+        b.set_label(obj, *ls)
+    for obj, kv in (props or {}).items():
+        for k, v in kv.items():
+            b.set_property(obj, k, v)
+    return b.build()
+
+
+G1 = make(
+    nodes=["a", "b", "c"],
+    edges=[("ab", "a", "b")],
+    paths=[("p", ["a", "ab", "b"])],
+    labels={"a": ["A"], "ab": ["x"]},
+    props={"a": {"k": 1}},
+)
+G2 = make(
+    nodes=["b", "c", "d"],
+    edges=[("cd", "c", "d")],
+    labels={"b": ["B"], "c": ["C"]},
+    props={"b": {"k": 2}},
+)
+
+
+class TestUnion:
+    def test_components(self):
+        g = graph_union(G1, G2)
+        assert g.nodes == {"a", "b", "c", "d"}
+        assert g.edges == {"ab", "cd"}
+        assert g.paths == {"p"}
+
+    def test_labels_merge(self):
+        g = graph_union(G1, G2)
+        assert g.labels("a") == {"A"}
+        assert g.labels("b") == {"B"}
+
+    def test_property_value_sets_merge(self):
+        shared1 = make(nodes=["n"], props={"n": {"k": 1}})
+        shared2 = make(nodes=["n"], props={"n": {"k": 2}})
+        g = graph_union(shared1, shared2)
+        assert g.property("n", "k") == {1, 2}
+
+    def test_inconsistent_union_is_empty(self):
+        h1 = make(nodes=["a", "b"], edges=[("e", "a", "b")])
+        h2 = make(nodes=["a", "b"], edges=[("e", "b", "a")])
+        assert graph_union(h1, h2).is_empty()
+
+    def test_inconsistent_paths(self):
+        h1 = make(nodes=["a", "b"], edges=[("e", "a", "b")],
+                  paths=[("p", ["a", "e", "b"])])
+        h2 = make(nodes=["a", "b"], edges=[("e", "a", "b")],
+                  paths=[("p", ["b", "e", "a"])])
+        assert graph_union(h1, h2).is_empty()
+
+    def test_identity(self):
+        assert graph_union(G1, empty_graph()) == G1
+
+    def test_idempotent(self):
+        assert graph_union(G1, G1) == G1
+
+    def test_commutative(self):
+        assert graph_union(G1, G2) == graph_union(G2, G1)
+
+
+class TestIntersect:
+    def test_components(self):
+        g = graph_intersect(G1, G2)
+        assert g.nodes == {"b", "c"}
+        assert g.edges == frozenset()
+        assert g.paths == frozenset()
+
+    def test_labels_intersect(self):
+        h1 = make(nodes=["n"], labels={"n": ["A", "B"]})
+        h2 = make(nodes=["n"], labels={"n": ["B", "C"]})
+        assert graph_intersect(h1, h2).labels("n") == {"B"}
+
+    def test_property_sets_intersect(self):
+        h1 = make(nodes=["n"], props={"n": {"k": {1, 2}}})
+        h2 = make(nodes=["n"], props={"n": {"k": {2, 3}}})
+        assert graph_intersect(h1, h2).property("n", "k") == {2}
+
+    def test_with_empty(self):
+        assert graph_intersect(G1, empty_graph()).is_empty()
+
+    def test_idempotent(self):
+        assert graph_intersect(G1, G1) == G1
+
+    def test_inconsistent_is_empty(self):
+        h1 = make(nodes=["a", "b"], edges=[("e", "a", "b")])
+        h2 = make(nodes=["a", "b"], edges=[("e", "b", "a")])
+        assert graph_intersect(h1, h2).is_empty()
+
+
+class TestDifference:
+    def test_nodes_removed(self):
+        g = graph_difference(G1, G2)
+        assert g.nodes == {"a"}
+
+    def test_edges_with_lost_endpoint_dropped(self):
+        g = graph_difference(G1, G2)  # b removed, so ab must go
+        assert g.edges == frozenset()
+
+    def test_paths_with_lost_member_dropped(self):
+        g = graph_difference(G1, G2)
+        assert g.paths == frozenset()
+
+    def test_difference_with_empty_is_identity(self):
+        assert graph_difference(G1, empty_graph()) == G1
+
+    def test_self_difference_is_empty(self):
+        assert graph_difference(G1, G1).is_empty()
+
+    def test_labels_restricted(self):
+        g = graph_difference(G1, G2)
+        assert g.labels("a") == {"A"}
+
+    def test_edge_identity_removal(self):
+        h1 = make(nodes=["a", "b"], edges=[("e", "a", "b")])
+        h2 = make(nodes=["x"], edges=[])
+        b = GraphBuilder()
+        b.add_node("q1")
+        b.add_node("q2")
+        b.add_edge("q1", "q2", edge_id="e")
+        h3 = b.build()
+        # e is removed by identity even though endpoints survive
+        g = graph_difference(h1, h3)
+        assert g.nodes == {"a", "b"} and g.edges == frozenset()
+        del h2
+
+
+class TestAlgebraicLaws:
+    def test_union_associative(self):
+        g3 = make(nodes=["e"], labels={"e": ["E"]})
+        left = graph_union(graph_union(G1, G2), g3)
+        right = graph_union(G1, graph_union(G2, g3))
+        assert left == right
+
+    def test_intersect_distributes_over_union_on_nodes(self):
+        g3 = make(nodes=["a", "d"])
+        lhs = graph_intersect(g3, graph_union(G1, G2))
+        rhs = graph_union(graph_intersect(g3, G1), graph_intersect(g3, G2))
+        assert lhs.nodes == rhs.nodes

@@ -1,0 +1,81 @@
+"""Unit tests for the ALL-paths graph projection (method of [10])."""
+
+from repro.lang import ast
+from repro.model.builder import GraphBuilder
+from repro.paths.automaton import compile_regex
+from repro.paths.product import PathFinder
+
+KSTAR = compile_regex(ast.RStar(ast.RLabel("k")))
+KPLUS = compile_regex(ast.RPlus(ast.RLabel("k")))
+
+
+def graph_with_detour():
+    """s -> a -> t plus a dead-end s -> d and a detour a -> b -> t."""
+    b = GraphBuilder()
+    for n in "sabtd":
+        b.add_node(n)
+    b.add_edge("s", "a", edge_id="sa", labels=["k"])
+    b.add_edge("a", "t", edge_id="at", labels=["k"])
+    b.add_edge("a", "b", edge_id="ab", labels=["k"])
+    b.add_edge("b", "t", edge_id="bt", labels=["k"])
+    b.add_edge("s", "d", edge_id="sd", labels=["k"])  # dead end
+    return b.build()
+
+
+class TestProjection:
+    def test_dead_ends_excluded(self):
+        g = graph_with_detour()
+        nodes, edges = PathFinder(g, KSTAR).all_paths_projection("s", "t")
+        assert nodes == {"s", "a", "b", "t"}
+        assert edges == {"sa", "at", "ab", "bt"}
+        assert "d" not in nodes and "sd" not in edges
+
+    def test_no_path_is_empty(self):
+        g = graph_with_detour()
+        nodes, edges = PathFinder(g, KSTAR).all_paths_projection("t", "s")
+        assert nodes == frozenset() and edges == frozenset()
+
+    def test_self_projection_zero_length(self):
+        g = graph_with_detour()
+        nodes, edges = PathFinder(g, KSTAR).all_paths_projection("s", "s")
+        # The empty walk conforms to k*; only s itself is on it.
+        assert nodes == {"s"} and edges == frozenset()
+
+    def test_cycle_included(self):
+        # With a cycle on a conforming route, the cycle's edges lie on
+        # *some* walk, so they are part of the projection.
+        b = GraphBuilder()
+        for n in "sct":
+            b.add_node(n)
+        b.add_edge("s", "c", edge_id="sc", labels=["k"])
+        b.add_edge("c", "c", edge_id="cc", labels=["k"])
+        b.add_edge("c", "t", edge_id="ct", labels=["k"])
+        nodes, edges = PathFinder(b.build(), KSTAR).all_paths_projection("s", "t")
+        assert "cc" in edges
+
+    def test_label_filtering(self):
+        b = GraphBuilder()
+        for n in "sat":
+            b.add_node(n)
+        b.add_edge("s", "a", edge_id="sa", labels=["k"])
+        b.add_edge("a", "t", edge_id="at", labels=["other"])
+        nodes, edges = PathFinder(b.build(), KPLUS).all_paths_projection("s", "t")
+        assert nodes == frozenset() and edges == frozenset()
+
+    def test_unknown_nodes(self):
+        g = graph_with_detour()
+        assert PathFinder(g, KSTAR).all_paths_projection("zz", "t") == (
+            frozenset(), frozenset(),
+        )
+
+    def test_matches_enumeration_on_dag(self):
+        """Projection == union of all enumerated simple paths on a DAG."""
+        from repro.paths.simplepaths import enumerate_simple_paths
+
+        g = graph_with_detour()
+        nodes, edges = PathFinder(g, KSTAR).all_paths_projection("s", "t")
+        enum_nodes, enum_edges = set(), set()
+        for walk in enumerate_simple_paths(g, KSTAR, "s", "t"):
+            enum_nodes.update(walk.nodes())
+            enum_edges.update(walk.edges())
+        assert nodes == enum_nodes and edges == enum_edges

@@ -1,0 +1,88 @@
+"""Unit tests for regex compilation into NFAs."""
+
+from repro.lang import ast
+from repro.paths.automaton import Arc, compile_regex, regex_view_names
+
+
+def arcs_from_start(nfa):
+    return {(arc.kind, arc.label, arc.inverse) for arc, _ in nfa.moves(nfa.start)}
+
+
+class TestCompilation:
+    def test_single_label(self):
+        nfa = compile_regex(ast.RLabel("knows"))
+        assert arcs_from_start(nfa) == {("edge", "knows", False)}
+        assert not nfa.is_accepting(nfa.start)
+
+    def test_inverse_label(self):
+        nfa = compile_regex(ast.RLabel("knows", inverse=True))
+        assert arcs_from_start(nfa) == {("edge", "knows", True)}
+
+    def test_wildcard(self):
+        nfa = compile_regex(ast.RAnyEdge())
+        assert arcs_from_start(nfa) == {("edge", None, False)}
+
+    def test_node_test(self):
+        nfa = compile_regex(ast.RNodeTest("Person"))
+        assert arcs_from_start(nfa) == {("node", "Person", False)}
+
+    def test_view_reference(self):
+        nfa = compile_regex(ast.RView("wKnows"))
+        assert arcs_from_start(nfa) == {("view", "wKnows", False)}
+        assert nfa.view_names() == {"wKnows"}
+
+    def test_star_accepts_empty(self):
+        nfa = compile_regex(ast.RStar(ast.RLabel("knows")))
+        assert nfa.is_accepting(nfa.start)
+
+    def test_plus_does_not_accept_empty(self):
+        nfa = compile_regex(ast.RPlus(ast.RLabel("knows")))
+        assert not nfa.is_accepting(nfa.start)
+
+    def test_optional_accepts_empty(self):
+        nfa = compile_regex(ast.ROpt(ast.RLabel("knows")))
+        assert nfa.is_accepting(nfa.start)
+
+    def test_eps(self):
+        nfa = compile_regex(ast.REps())
+        assert nfa.is_accepting(nfa.start)
+        assert arcs_from_start(nfa) == set()
+
+    def test_alternation_exposes_both(self):
+        nfa = compile_regex(ast.RAlt((ast.RLabel("a"), ast.RLabel("b"))))
+        assert arcs_from_start(nfa) == {
+            ("edge", "a", False), ("edge", "b", False),
+        }
+
+    def test_concat_sequencing(self):
+        nfa = compile_regex(ast.RConcat((ast.RLabel("a"), ast.RLabel("b"))))
+        assert arcs_from_start(nfa) == {("edge", "a", False)}
+        # after taking 'a', only 'b' is available
+        ((_, mid),) = nfa.moves(nfa.start)
+        assert {(a.label) for a, _ in nfa.moves(mid)} == {"b"}
+
+    def test_none_means_any_walk(self):
+        nfa = compile_regex(None)
+        assert nfa.is_accepting(nfa.start)
+        assert arcs_from_start(nfa) == {("edge", None, False)}
+
+    def test_nested_star(self):
+        nfa = compile_regex(
+            ast.RStar(ast.RConcat((ast.RLabel("a"), ast.RStar(ast.RLabel("b")))))
+        )
+        assert nfa.is_accepting(nfa.start)
+
+
+class TestViewNames:
+    def test_collects_nested(self):
+        regex = ast.RStar(
+            ast.RAlt((ast.RView("v1"), ast.RConcat((ast.RView("v2"),
+                                                    ast.RLabel("x")))))
+        )
+        assert regex_view_names(regex) == {"v1", "v2"}
+
+    def test_none(self):
+        assert regex_view_names(None) == frozenset()
+
+    def test_no_views(self):
+        assert regex_view_names(ast.RLabel("knows")) == frozenset()

@@ -1,0 +1,164 @@
+"""Unit tests for the product-graph path search."""
+
+import pytest
+
+from repro.lang import ast
+from repro.model.builder import GraphBuilder
+from repro.paths.automaton import compile_regex
+from repro.paths.product import PathFinder, ViewSegment
+from repro.paths.walk import Walk
+
+
+def line_graph(n=5, label="k"):
+    """a0 -k-> a1 -k-> ... -k-> a(n-1)"""
+    b = GraphBuilder()
+    for i in range(n):
+        b.add_node(f"a{i}", labels=["N"])
+    for i in range(n - 1):
+        b.add_edge(f"a{i}", f"a{i+1}", edge_id=f"e{i}", labels=[label])
+    return b.build()
+
+
+def diamond_graph():
+    b = GraphBuilder()
+    for n in "sabt":
+        b.add_node(n, labels=["N"])
+    b.add_edge("s", "a", edge_id="sa", labels=["k"])
+    b.add_edge("s", "b", edge_id="sb", labels=["k"])
+    b.add_edge("a", "t", edge_id="at", labels=["k"])
+    b.add_edge("b", "t", edge_id="bt", labels=["k"])
+    return b.build()
+
+
+KSTAR = compile_regex(ast.RStar(ast.RLabel("k")))
+KPLUS = compile_regex(ast.RPlus(ast.RLabel("k")))
+
+
+class TestShortest:
+    def test_line_distances(self):
+        g = line_graph(5)
+        walks = PathFinder(g, KSTAR).shortest_from("a0")
+        assert {node: w.cost for node, w in walks.items()} == {
+            "a0": 0, "a1": 1, "a2": 2, "a3": 3, "a4": 4,
+        }
+
+    def test_walk_sequences(self):
+        g = line_graph(3)
+        walks = PathFinder(g, KSTAR).shortest_from("a0")
+        assert walks["a2"].sequence == ("a0", "e0", "a1", "e1", "a2")
+
+    def test_zero_length_walk(self):
+        g = line_graph(2)
+        walk = PathFinder(g, KSTAR).shortest("a0", "a0")
+        assert walk is not None and walk.sequence == ("a0",) and walk.cost == 0
+
+    def test_plus_excludes_zero_length(self):
+        g = line_graph(2)
+        finder = PathFinder(g, KPLUS)
+        assert finder.shortest("a0", "a0") is None
+
+    def test_label_restriction(self):
+        b = GraphBuilder()
+        b.add_node("x")
+        b.add_node("y")
+        b.add_edge("x", "y", edge_id="e", labels=["other"])
+        finder = PathFinder(b.build(), KPLUS)
+        assert finder.shortest("x", "y") is None
+
+    def test_inverse_traversal(self):
+        g = line_graph(3)
+        inverse = compile_regex(ast.RPlus(ast.RLabel("k", inverse=True)))
+        walk = PathFinder(g, inverse).shortest("a2", "a0")
+        assert walk is not None and walk.cost == 2
+
+    def test_deterministic_tie_break(self):
+        g = diamond_graph()
+        walk = PathFinder(g, KSTAR).shortest("s", "t")
+        # Both s-a-t and s-b-t cost 2; the lexicographically smaller node
+        # sequence (via 'a') must be chosen, deterministically.
+        assert walk.sequence == ("s", "sa", "a", "at", "t")
+
+    def test_targets_early_exit(self):
+        g = line_graph(6)
+        walks = PathFinder(g, KSTAR).shortest_from("a0", targets={"a2"})
+        assert "a2" in walks
+
+    def test_missing_source(self):
+        g = line_graph(2)
+        assert PathFinder(g, KSTAR).shortest_from("zz") == {}
+
+    def test_node_test_regex(self):
+        b = GraphBuilder()
+        b.add_node("p1", labels=["Person"])
+        b.add_node("p2", labels=["Person"])
+        b.add_node("c", labels=["Company"])
+        b.add_edge("p1", "p2", edge_id="e1", labels=["k"])
+        b.add_edge("p2", "c", edge_id="e2", labels=["k"])
+        g = b.build()
+        # :k !Person :k — middle node must be a Person
+        regex = ast.RConcat(
+            (ast.RLabel("k"), ast.RNodeTest("Person"), ast.RLabel("k"))
+        )
+        walk = PathFinder(g, compile_regex(regex)).shortest("p1", "c")
+        assert walk is not None and walk.cost == 2  # node test costs 0
+        # and with !Company in the middle there is no walk
+        regex2 = ast.RConcat(
+            (ast.RLabel("k"), ast.RNodeTest("Company"), ast.RLabel("k"))
+        )
+        assert PathFinder(g, compile_regex(regex2)).shortest("p1", "c") is None
+
+
+class TestViews:
+    def test_view_arc_traversal(self):
+        g = line_graph(3)
+        views = {
+            "v": {
+                "a0": (ViewSegment("a1", 0.5, ("a0", "e0", "a1")),),
+                "a1": (ViewSegment("a2", 0.25, ("a1", "e1", "a2")),),
+            }
+        }
+        nfa = compile_regex(ast.RStar(ast.RView("v")))
+        walks = PathFinder(g, nfa, views).shortest_from("a0")
+        assert walks["a2"].cost == 0.75
+        assert walks["a2"].sequence == ("a0", "e0", "a1", "e1", "a2")
+
+    def test_weighted_changes_winner(self):
+        g = diamond_graph()
+        views = {
+            "v": {
+                "s": (
+                    ViewSegment("a", 5.0, ("s", "sa", "a")),
+                    ViewSegment("b", 1.0, ("s", "sb", "b")),
+                ),
+                "a": (ViewSegment("t", 1.0, ("a", "at", "t")),),
+                "b": (ViewSegment("t", 1.0, ("b", "bt", "t")),),
+            }
+        }
+        nfa = compile_regex(ast.RStar(ast.RView("v")))
+        walk = PathFinder(g, nfa, views).shortest("s", "t")
+        assert walk.sequence == ("s", "sb", "b", "bt", "t")
+        assert walk.cost == 2.0
+
+
+class TestReachability:
+    def test_reachable_set(self):
+        g = line_graph(4)
+        reachable = PathFinder(g, KSTAR).reachable_from("a1")
+        assert reachable == {"a1", "a2", "a3"}
+
+    def test_plus_excludes_self_unless_cycle(self):
+        g = line_graph(3)
+        assert "a0" not in PathFinder(g, KPLUS).reachable_from("a0")
+
+    def test_cycle_reaches_self(self):
+        b = GraphBuilder()
+        b.add_node("x")
+        b.add_node("y")
+        b.add_edge("x", "y", edge_id="e1", labels=["k"])
+        b.add_edge("y", "x", edge_id="e2", labels=["k"])
+        finder = PathFinder(b.build(), KPLUS)
+        assert "x" in finder.reachable_from("x")
+
+    def test_unknown_source(self):
+        g = line_graph(2)
+        assert PathFinder(g, KSTAR).reachable_from("zz") == frozenset()

@@ -1,0 +1,60 @@
+"""Bounded repetition ``r{m,n}`` (the Section 6 succinctness convenience)."""
+
+import pytest
+
+from repro import GCoreEngine, GraphBuilder
+from repro.errors import ParseError
+from repro.lang.parser import parse_statement
+from repro.lang.pretty import pretty_statement
+
+
+@pytest.fixture()
+def line_engine():
+    b = GraphBuilder()
+    for i in range(6):
+        b.add_node(f"a{i}", labels=["N"], properties={"i": i})
+    for i in range(5):
+        b.add_edge(f"a{i}", f"a{i+1}", edge_id=f"e{i}", labels=["k"])
+    eng = GCoreEngine()
+    eng.register_graph("line", b.build(), default=True)
+    return eng
+
+
+class TestSemantics:
+    def targets(self, engine, regex):
+        table = engine.bindings(
+            f"MATCH (s {{i=0}})-/p<{regex}>/->(t)"
+        )
+        return {row["t"] for row in table}
+
+    def test_exact_count(self, line_engine):
+        assert self.targets(line_engine, ":k{2}") == {"a2"}
+
+    def test_range(self, line_engine):
+        assert self.targets(line_engine, ":k{1,3}") == {"a1", "a2", "a3"}
+
+    def test_zero_lower_bound(self, line_engine):
+        assert self.targets(line_engine, ":k{0,2}") == {"a0", "a1", "a2"}
+
+    def test_open_upper_bound(self, line_engine):
+        assert self.targets(line_engine, ":k{3,}") == {"a3", "a4", "a5"}
+
+    def test_equivalent_to_concat(self, line_engine):
+        assert self.targets(line_engine, ":k{2}") == self.targets(
+            line_engine, ":k :k"
+        )
+
+    def test_nested_with_alternation(self, line_engine):
+        assert self.targets(line_engine, "(:k|:k){2,2}") == {"a2"}
+
+
+class TestSyntax:
+    def test_round_trip(self):
+        for regex in (":k{2}", ":k{1,3}", ":k{3,}"):
+            text = f"CONSTRUCT (a) MATCH (a)-/p<{regex}>/->(b)"
+            statement = parse_statement(text)
+            assert parse_statement(pretty_statement(statement)) == statement
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("CONSTRUCT (a) MATCH (a)-/p<:k{3,1}>/->(b)")

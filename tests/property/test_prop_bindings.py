@@ -1,0 +1,105 @@
+"""Property-based tests of the binding algebra against a brute-force oracle.
+
+The operators of Appendix A.1 have direct set-theoretic definitions over
+compatibility of partial bindings; we generate random tables (with partial
+rows) and compare the hash-join implementation against the quadratic
+definition.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.binding import Binding, BindingTable
+from repro.algebra.ops import (
+    table_antijoin,
+    table_join,
+    table_left_join,
+    table_semijoin,
+    table_union,
+)
+
+VARIABLES = ["x", "y", "z"]
+values = st.integers(min_value=0, max_value=3)
+
+
+@st.composite
+def bindings(draw):
+    domain = draw(st.sets(st.sampled_from(VARIABLES)))
+    return Binding({var: draw(values) for var in domain})
+
+
+def tables():
+    return st.lists(bindings(), max_size=6).map(
+        lambda rows: BindingTable(VARIABLES, rows)
+    )
+
+
+def brute_join(left, right):
+    out = set()
+    for mu1 in left:
+        for mu2 in right:
+            if mu1.compatible(mu2):
+                out.add(mu1.merge(mu2))
+    return out
+
+
+@given(tables(), tables())
+@settings(max_examples=200)
+def test_join_matches_definition(left, right):
+    assert set(table_join(left, right)) == brute_join(left, right)
+
+
+@given(tables(), tables())
+@settings(max_examples=200)
+def test_semijoin_matches_definition(left, right):
+    expected = {
+        mu1 for mu1 in left if any(mu1.compatible(mu2) for mu2 in right)
+    }
+    assert set(table_semijoin(left, right)) == expected
+
+
+@given(tables(), tables())
+@settings(max_examples=200)
+def test_antijoin_matches_definition(left, right):
+    expected = {
+        mu1 for mu1 in left if not any(mu1.compatible(mu2) for mu2 in right)
+    }
+    assert set(table_antijoin(left, right)) == expected
+
+
+@given(tables(), tables())
+@settings(max_examples=200)
+def test_left_join_definition(left, right):
+    # O1 =|><| O2 = (O1 |><| O2) u (O1 \ O2) — computed independently.
+    expected = brute_join(left, right) | set(table_antijoin(left, right))
+    assert set(table_left_join(left, right)) == expected
+
+
+@given(tables(), tables())
+def test_join_commutative(left, right):
+    assert table_join(left, right) == table_join(right, left)
+
+
+@given(tables(), tables(), tables())
+@settings(max_examples=100)
+def test_join_associative(t1, t2, t3):
+    assert table_join(table_join(t1, t2), t3) == table_join(
+        t1, table_join(t2, t3)
+    )
+
+
+@given(tables())
+def test_unit_is_join_identity(table):
+    assert table_join(table, BindingTable.unit()) == table
+
+
+@given(tables(), tables())
+def test_union_commutative(left, right):
+    assert table_union(left, right) == table_union(right, left)
+
+
+@given(tables(), tables())
+def test_semijoin_antijoin_partition(left, right):
+    semi = set(table_semijoin(left, right))
+    anti = set(table_antijoin(left, right))
+    assert semi | anti == set(left)
+    assert not (semi & anti)

@@ -1,0 +1,88 @@
+"""Property-based CSV round-trip tests."""
+
+import io
+
+from hypothesis import given, settings, strategies as st
+
+from repro.model.builder import GraphBuilder
+from repro.model.io_csv import (
+    dump_graph_csv,
+    dump_table_csv,
+    format_cell,
+    load_graph_csv,
+    load_table_csv,
+    parse_cell,
+)
+from repro.table import Table
+
+# Scalars that survive CSV type inference unambiguously: integers,
+# booleans, and strings that don't look like numbers/bools/dates/empties
+# and don't contain the multi-value separator or CSV-hostile characters.
+safe_strings = st.text(
+    alphabet="abcdefgXYZ_ ", min_size=1, max_size=8
+).filter(lambda s: s.strip() == s and s.lower() not in ("true", "false"))
+safe_scalars = st.one_of(
+    st.integers(min_value=-10_000, max_value=10_000),
+    st.booleans(),
+    safe_strings,
+)
+
+
+@given(safe_scalars)
+def test_cell_round_trip(value):
+    assert parse_cell(format_cell(value)) == value
+
+
+@given(st.frozensets(safe_scalars, min_size=2, max_size=4))
+@settings(max_examples=100)
+def test_multivalue_cell_round_trip(values):
+    assert parse_cell(format_cell(values)) == values
+
+
+@st.composite
+def csv_graphs(draw):
+    builder = GraphBuilder()
+    node_count = draw(st.integers(1, 5))
+    names = [f"n{i}" for i in range(node_count)]
+    for name in names:
+        labels = draw(st.sets(st.sampled_from(["A", "B"]), max_size=2))
+        props = {}
+        if draw(st.booleans()):
+            props["k"] = draw(safe_scalars)
+        builder.add_node(name, labels=labels, properties=props)
+    for index in range(draw(st.integers(0, 5))):
+        builder.add_edge(
+            draw(st.sampled_from(names)),
+            draw(st.sampled_from(names)),
+            edge_id=f"e{index}",
+            labels=draw(st.sets(st.sampled_from(["x", "y"]), max_size=1)),
+        )
+    return builder.build()
+
+
+@given(csv_graphs())
+@settings(max_examples=100)
+def test_graph_csv_round_trip(graph):
+    nodes_out, edges_out = io.StringIO(), io.StringIO()
+    dump_graph_csv(graph, nodes_out, edges_out)
+    nodes_out.seek(0)
+    edges_out.seek(0)
+    assert load_graph_csv(nodes_out, edges_out) == graph
+
+
+@given(
+    st.lists(
+        st.tuples(safe_scalars, safe_scalars), min_size=0, max_size=6
+    )
+)
+@settings(max_examples=100)
+def test_table_csv_round_trip(rows):
+    table = Table(("colA", "colB"), rows)
+    out = io.StringIO()
+    dump_table_csv(table, out)
+    out.seek(0)
+    restored = load_table_csv(out)
+    if rows:
+        assert restored == table
+    else:
+        assert len(restored) == 0

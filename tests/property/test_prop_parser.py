@@ -1,0 +1,136 @@
+"""Property-based round-trip tests: parse(pretty(ast)) == ast."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import ast
+from repro.lang.parser import parse_expression, parse_statement
+from repro.lang.pretty import pretty_expr, pretty_statement
+
+names = st.sampled_from(["a", "b", "n", "m", "x9"])
+keys = st.sampled_from(["k", "name", "w"])
+labels = st.sampled_from(["Person", "Tag", "K1"])
+
+
+@st.composite
+def expressions(draw, depth=3):
+    if depth == 0:
+        return draw(
+            st.one_of(
+                st.integers(0, 99).map(ast.Literal),
+                st.text(
+                    alphabet="abcXYZ 09", max_size=6
+                ).map(ast.Literal),
+                st.booleans().map(ast.Literal),
+                names.map(ast.Var),
+                st.tuples(names, keys).map(
+                    lambda nk: ast.Prop(ast.Var(nk[0]), nk[1])
+                ),
+            )
+        )
+    kind = draw(st.integers(0, 6))
+    if kind == 0:
+        return draw(expressions(depth=0))
+    if kind == 1:
+        op = draw(st.sampled_from(["+", "-", "*", "/"]))
+        return ast.Binary(
+            op,
+            draw(expressions(depth=depth - 1)),
+            draw(expressions(depth=depth - 1)),
+        )
+    if kind == 2:
+        op = draw(st.sampled_from(["=", "<>", "<", "<=", ">", ">=", "in",
+                                   "subset"]))
+        return ast.Binary(
+            op,
+            draw(expressions(depth=depth - 1)),
+            draw(expressions(depth=depth - 1)),
+        )
+    if kind == 3:
+        op = draw(st.sampled_from(["and", "or"]))
+        return ast.Binary(
+            op,
+            draw(expressions(depth=depth - 1)),
+            draw(expressions(depth=depth - 1)),
+        )
+    if kind == 4:
+        return ast.Unary("not", draw(expressions(depth=depth - 1)))
+    if kind == 5:
+        args = draw(st.lists(expressions(depth=depth - 1), max_size=2))
+        return ast.FuncCall("size", tuple(args))
+    whens = draw(
+        st.lists(
+            st.tuples(expressions(depth=depth - 1),
+                      expressions(depth=depth - 1)),
+            min_size=1, max_size=2,
+        )
+    )
+    default = draw(st.none() | expressions(depth=depth - 1))
+    return ast.CaseExpr(tuple(whens), default)
+
+
+@given(expressions())
+@settings(max_examples=300)
+def test_expression_round_trip(expr):
+    rendered = pretty_expr(expr)
+    assert parse_expression(rendered) == expr
+
+
+@st.composite
+def node_patterns(draw):
+    var = draw(st.none() | names)
+    label_groups = draw(
+        st.lists(
+            st.lists(labels, min_size=1, max_size=2, unique=True).map(tuple),
+            max_size=2,
+        ).map(tuple)
+    )
+    tests = draw(
+        st.lists(
+            st.tuples(keys, st.integers(0, 9).map(ast.Literal)), max_size=1
+        ).map(tuple)
+    )
+    return ast.NodePattern(var=var, labels=label_groups, prop_tests=tests)
+
+
+@st.composite
+def chains(draw):
+    length = draw(st.integers(0, 2))
+    elements = [draw(node_patterns())]
+    for _ in range(length):
+        direction = draw(st.sampled_from([ast.OUT, ast.IN, ast.UNDIRECTED]))
+        edge_labels = draw(
+            st.lists(
+                st.lists(labels, min_size=1, max_size=2, unique=True).map(tuple),
+                max_size=1,
+            ).map(tuple)
+        )
+        elements.append(
+            ast.EdgePattern(
+                var=draw(st.none() | names),
+                direction=direction,
+                labels=edge_labels,
+            )
+        )
+        elements.append(draw(node_patterns()))
+    return ast.Chain(tuple(elements))
+
+
+@st.composite
+def statements(draw):
+    chain = draw(chains())
+    match_chain = draw(chains())
+    where = draw(st.none() | expressions(depth=1))
+    construct = ast.ConstructClause(
+        (ast.PatternItem(chain),)
+    )
+    match = ast.MatchClause(
+        ast.MatchBlock((ast.PatternLocation(match_chain, None),), where)
+    )
+    return ast.Query((), ast.BasicQuery(construct, match))
+
+
+@given(statements())
+@settings(max_examples=200)
+def test_statement_round_trip(statement):
+    rendered = pretty_statement(statement)
+    assert parse_statement(rendered) == statement

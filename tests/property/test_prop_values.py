@@ -1,0 +1,69 @@
+"""Property-based tests for the value-set semantics."""
+
+from hypothesis import given, strategies as st
+
+from repro.model.values import (
+    as_scalar,
+    as_value_set,
+    gcore_equals,
+    gcore_in,
+    gcore_subset,
+)
+
+scalars = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=8),
+    st.booleans(),
+)
+value_sets = st.frozensets(scalars, max_size=5)
+
+
+@given(scalars)
+def test_scalar_singleton_round_trip(value):
+    assert as_scalar(as_value_set(value)) == value
+
+
+@given(value_sets)
+def test_as_value_set_idempotent(values):
+    assert as_value_set(as_value_set(values)) == as_value_set(values)
+
+
+@given(value_sets)
+def test_equals_reflexive(values):
+    assert gcore_equals(values, values)
+
+
+@given(value_sets, value_sets)
+def test_equals_symmetric(a, b):
+    assert gcore_equals(a, b) == gcore_equals(b, a)
+
+
+@given(scalars, value_sets)
+def test_scalar_equals_singleton(value, _):
+    assert gcore_equals(value, frozenset({value}))
+
+
+@given(value_sets, value_sets)
+def test_subset_reflexive_and_antisymmetric_ish(a, b):
+    assert gcore_subset(a, a)
+    if gcore_subset(a, b) and gcore_subset(b, a):
+        assert gcore_equals(a, b)
+
+
+@given(value_sets, value_sets, value_sets)
+def test_subset_transitive(a, b, c):
+    if gcore_subset(a, b) and gcore_subset(b, c):
+        assert gcore_subset(a, c)
+
+
+@given(scalars, value_sets)
+def test_in_member_iff_singleton_subset(value, values):
+    assert gcore_in(value, values) == gcore_subset(
+        frozenset({value}), values
+    )
+
+
+@given(value_sets)
+def test_empty_set_is_subset(values):
+    assert gcore_subset(frozenset(), values)
