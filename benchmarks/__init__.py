@@ -1,0 +1,10 @@
+"""The benchmark suite (pytest-benchmark based).
+
+This package marker lets the ``from .conftest import ...`` imports inside
+the bench modules resolve, so the suite can run from a clean checkout:
+
+    PYTHONPATH=src python -m pytest benchmarks --benchmark-only
+
+Set ``BENCH_SMOKE=1`` for the CI smoke mode: tiny graph sizes and one
+benchmark round, just enough to catch crashes and gross regressions.
+"""

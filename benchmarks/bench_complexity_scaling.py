@@ -11,9 +11,9 @@ baseline in bench_simple_path_baseline.py.
 
 import pytest
 
-from .conftest import snb_engine
+from .conftest import sizes, snb_engine
 
-SIZES = [25, 50, 100, 200]
+SIZES = sizes([25, 50, 100, 200], [10, 20])
 
 PATTERN_QUERY = (
     "CONSTRUCT (n)-[e:coFan]->(m) "

@@ -8,12 +8,14 @@ shifts.
 
 import pytest
 
-from .conftest import snb_engine
+from .conftest import SMOKE, snb_engine
+
+PERSONS = 20 if SMOKE else 100
 
 
 @pytest.fixture(scope="module")
 def engine():
-    return snb_engine(100)
+    return snb_engine(PERSONS)
 
 
 def run_construct(benchmark, engine, query, check=None):
@@ -28,7 +30,7 @@ def test_identity_construction(benchmark, engine):
     run_construct(
         benchmark, engine,
         "CONSTRUCT (n) MATCH (n:Person)",
-        lambda g: len(g.nodes) == 100,
+        lambda g: len(g.nodes) == PERSONS,
     )
 
 
@@ -53,7 +55,7 @@ def test_copy_construction(benchmark, engine):
     run_construct(
         benchmark, engine,
         "CONSTRUCT (=n) MATCH (n:Person)",
-        lambda g: len(g.nodes) == 100,
+        lambda g: len(g.nodes) == PERSONS,
     )
 
 
@@ -61,7 +63,7 @@ def test_union_with_base(benchmark, engine):
     run_construct(
         benchmark, engine,
         "CONSTRUCT snb, (n {touched := TRUE}) MATCH (n:Person)",
-        lambda g: len(g.nodes) > 100,
+        lambda g: len(g.nodes) > PERSONS,
     )
 
 

@@ -8,7 +8,7 @@ path materialization.
 
 import pytest
 
-from .conftest import snb_engine
+from .conftest import sizes, snb_engine
 
 VIEW1 = (
     "GRAPH VIEW nrm AS (CONSTRUCT snb, (n)-[e]->(m) "
@@ -30,7 +30,7 @@ VIEW2 = (
 )
 
 
-@pytest.mark.parametrize("persons", [25, 50, 100])
+@pytest.mark.parametrize("persons", sizes([25, 50, 100], [10]))
 def test_view1_message_annotation(benchmark, persons):
     engine = snb_engine(persons)
     statement = engine.parse(VIEW1)
@@ -42,7 +42,7 @@ def test_view1_message_annotation(benchmark, persons):
     assert result.graph.edges_with_label("knows")
 
 
-@pytest.mark.parametrize("persons", [25, 50])
+@pytest.mark.parametrize("persons", sizes([25, 50], [10]))
 def test_view2_weighted_paths(benchmark, persons):
     engine = snb_engine(persons)
     engine.run(VIEW1)

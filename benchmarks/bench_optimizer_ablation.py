@@ -1,10 +1,18 @@
-"""EXP-B1 — planner ablation: greedy atom ordering vs. syntax order.
+"""EXP-B1 — planner ablation: cost-based vs. greedy heuristic vs. naive.
 
-DESIGN.md calls out the greedy "expand from what is bound" ordering as a
-design choice; this bench quantifies it. The triangle-ish pattern below
-begins, in syntax order, with an unlabeled unconstrained node scan; the
-greedy planner instead starts from the selective Tag lookup. The naive
-ordering is expected to lose by a growing factor.
+DESIGN.md calls out atom ordering as a design choice; this bench
+quantifies it across all three planner modes:
+
+* ``cost``      — the statistics-driven cardinality estimator (default),
+* ``heuristic`` — the constant-weight greedy fallback,
+* ``naive``     — pure syntax order (the ablation baseline).
+
+The triangle-ish pattern below begins, in syntax order, with an
+unlabeled unconstrained node scan; both planners instead start from the
+selective Tag lookup, and the cost-based planner additionally sizes the
+two edge expansions against the graph's degree statistics. The naive
+ordering is expected to lose by a growing factor; the cost-based order
+must match or beat the heuristic.
 """
 
 import pytest
@@ -14,12 +22,16 @@ from repro.eval.match import evaluate_match
 from repro.lang.lexer import tokenize
 from repro.lang.parser import Parser
 
-from .conftest import snb_engine
+from .conftest import sizes, snb_engine
 
 QUERY = (
     "MATCH (m), (n:Person)-[:hasInterest]->(t:Tag {name='Wagner'}), "
     "(n)-[:knows]->(m) WHERE (m:Person)"
 )
+
+PERSONS = sizes([50, 100], [15])
+
+MODES = ("cost", "heuristic", "naive")
 
 
 def _match_clause(text):
@@ -29,30 +41,42 @@ def _match_clause(text):
     return clause
 
 
-def run_match(engine, clause, naive):
+def run_match(engine, clause, mode):
     ctx = EvalContext(engine.catalog)
-    ctx.naive_planner = naive
+    ctx.naive_planner = mode == "naive"
+    ctx.use_cost_planner = mode == "cost"
     return evaluate_match(clause, ctx)
 
 
-@pytest.mark.parametrize("persons", [50, 100])
+@pytest.mark.parametrize("persons", PERSONS)
+def test_cost_based_planner(benchmark, persons):
+    engine = snb_engine(persons)
+    clause = _match_clause(QUERY)
+    engine.graph("snb").statistics()  # statistics are amortized; warm them
+    table = benchmark(run_match, engine, clause, "cost")
+    assert table is not None
+
+
+@pytest.mark.parametrize("persons", PERSONS)
 def test_greedy_planner(benchmark, persons):
     engine = snb_engine(persons)
     clause = _match_clause(QUERY)
-    table = benchmark(run_match, engine, clause, False)
+    table = benchmark(run_match, engine, clause, "heuristic")
     assert table is not None
 
 
-@pytest.mark.parametrize("persons", [50, 100])
+@pytest.mark.parametrize("persons", PERSONS)
 def test_naive_syntax_order(benchmark, persons):
     engine = snb_engine(persons)
     clause = _match_clause(QUERY)
-    table = benchmark(run_match, engine, clause, True)
+    table = benchmark(run_match, engine, clause, "naive")
     assert table is not None
 
 
-def test_orders_agree(snb_small):
+@pytest.mark.parametrize("mode", MODES)
+def test_orders_agree(snb_small, mode):
+    """Every planner mode must produce the identical binding table."""
     clause = _match_clause(QUERY)
-    assert run_match(snb_small, clause, True) == run_match(
-        snb_small, clause, False
+    assert run_match(snb_small, clause, mode) == run_match(
+        snb_small, clause, "naive"
     )

@@ -7,20 +7,25 @@ handle regular path constraints at all). Also covers k-shortest and the
 weighted view traversal.
 """
 
-import networkx as nx
 import pytest
+
+nx = pytest.importorskip("networkx")
 
 from repro.datasets.generator import SnbParameters, generate_snb_graph
 from repro.lang import ast
 from repro.paths.automaton import compile_regex
 from repro.paths.product import PathFinder, ViewSegment
 
+from .conftest import SMOKE
+
 KSTAR = compile_regex(ast.RStar(ast.RLabel("knows")))
+
+PERSONS = 30 if SMOKE else 150
 
 
 @pytest.fixture(scope="module")
 def snb():
-    return generate_snb_graph(SnbParameters(persons=150, seed=21))
+    return generate_snb_graph(SnbParameters(persons=PERSONS, seed=21))
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,84 @@
+"""EXP-B3 — the prepared-query plan cache under repeated identical traffic.
+
+The ROADMAP's "heavy traffic" scenario is the same parameterized query
+arriving over and over. ``engine.run(text)`` keeps an LRU of
+:class:`~repro.engine.PreparedQuery` objects keyed by query text, so the
+second and later runs skip lexing, parsing and planning. The hot query
+below is deliberately parse-heavy (a long WHERE conjunction) and cheap to
+execute, isolating the amortized frontend cost: warm runs must be at
+least 2x faster than cold runs (the acceptance bar for this cache).
+"""
+
+import time
+
+import pytest
+
+from repro import GCoreEngine
+from repro.datasets import company_graph, social_graph
+
+HOT_QUERY = (
+    "CONSTRUCT (n) MATCH (n:Person {firstName='John', lastName='Doe'}) "
+    "WHERE " + " AND ".join(f"n.firstName <> 'x{i}'" for i in range(100))
+)
+
+PARAM_QUERY = (
+    "CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = $company"
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    eng = GCoreEngine()
+    eng.register_graph("social_graph", social_graph(), default=True)
+    eng.register_graph("company_graph", company_graph())
+    return eng
+
+
+def test_cold_run(benchmark, engine):
+    """Every iteration re-lexes, re-parses and re-plans (cache cleared)."""
+
+    def cold():
+        engine.clear_plan_cache()
+        return engine.run(HOT_QUERY)
+
+    result = benchmark(cold)
+    assert result.nodes == {"john"}
+
+
+def test_warm_run(benchmark, engine):
+    """Second-and-later runs of the identical text hit the plan cache."""
+    engine.run(HOT_QUERY)  # warm the cache
+    result = benchmark(engine.run, HOT_QUERY)
+    assert result.nodes == {"john"}
+
+
+def test_prepared_query_with_params(benchmark, engine):
+    """The explicit prepare() path with per-run parameter values."""
+    prepared = engine.prepare(PARAM_QUERY)
+    result = benchmark(prepared.run, params={"company": "Acme"})
+    assert result.nodes == {"john", "alice"}
+
+
+def test_warm_runs_at_least_2x_faster(engine):
+    """The acceptance bar: >= 2x speedup from the second run onwards."""
+
+    def best(callable_, repeats=100):
+        elapsed = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            callable_()
+            elapsed = min(elapsed, time.perf_counter() - start)
+        return elapsed
+
+    def cold():
+        engine.clear_plan_cache()
+        engine.run(HOT_QUERY)
+
+    cold_time = best(cold)
+    engine.run(HOT_QUERY)
+    warm_time = best(lambda: engine.run(HOT_QUERY))
+    speedup = cold_time / warm_time
+    assert speedup >= 2.0, (
+        f"plan cache speedup only {speedup:.2f}x "
+        f"(cold {cold_time * 1e6:.0f}us, warm {warm_time * 1e6:.0f}us)"
+    )

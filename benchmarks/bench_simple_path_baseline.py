@@ -15,6 +15,8 @@ from repro.paths.automaton import compile_regex
 from repro.paths.product import PathFinder
 from repro.paths.simplepaths import count_simple_paths
 
+from .conftest import sizes
+
 KSTAR = compile_regex(ast.RStar(ast.RLabel("k")))
 
 
@@ -35,7 +37,7 @@ def ladder(rungs):
     return builder.build(), "n0", previous
 
 
-RUNGS = [4, 6, 8, 10]
+RUNGS = sizes([4, 6, 8, 10], [3, 4])
 
 
 @pytest.mark.parametrize("rungs", RUNGS)

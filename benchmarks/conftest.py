@@ -1,4 +1,11 @@
-"""Shared fixtures for the benchmark harness."""
+"""Shared fixtures for the benchmark harness.
+
+``BENCH_SMOKE=1`` switches every bench to smoke mode: tiny graph sizes
+so the whole suite finishes in seconds. CI runs the smoke mode per PR
+and archives the ``--benchmark-json`` output as a build artifact.
+"""
+
+import os
 
 import pytest
 
@@ -9,6 +16,13 @@ from repro.datasets.generator import (
     generate_company_graph,
     generate_snb_graph,
 )
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+
+def sizes(full, smoke):
+    """The *full* parameter list, or *smoke* under ``BENCH_SMOKE=1``."""
+    return list(smoke) if SMOKE else list(full)
 
 
 @pytest.fixture(scope="session")
@@ -31,11 +45,11 @@ def snb_engine(persons: int, seed: int = 42) -> GCoreEngine:
 
 @pytest.fixture(scope="session")
 def snb_small():
-    """A small generated SNB graph (50 persons)."""
-    return snb_engine(50)
+    """A small generated SNB graph (50 persons; 20 in smoke mode)."""
+    return snb_engine(20 if SMOKE else 50)
 
 
 @pytest.fixture(scope="session")
 def snb_medium():
-    """A medium generated SNB graph (150 persons)."""
-    return snb_engine(150)
+    """A medium generated SNB graph (150 persons; 30 in smoke mode)."""
+    return snb_engine(30 if SMOKE else 150)

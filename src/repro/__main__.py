@@ -7,7 +7,11 @@ Dot-commands:
   .graphs              list catalog graphs / views / tables
   .default <name>      set the default graph
   .show <name>         describe a graph
-  .explain <query>     show the evaluation sketch
+  .stats <name>        planner statistics of a graph (counts, degrees,
+                       property selectivities)
+  .explain <query>     show the evaluation sketch (planner order with
+                       estimated cardinalities, plan-cache status)
+  .cache               prepared-query plan cache hit/miss counters
   .load <file.json>    load and register a JSON graph
   .help                this text
   .quit                exit
@@ -69,6 +73,14 @@ def handle_command(engine: GCoreEngine, line: str) -> bool:
         print(f"default graph is now {argument}")
     elif command == ".show" and argument:
         print(engine.graph(argument).describe())
+    elif command == ".stats" and argument:
+        print(engine.graph(argument).statistics().describe())
+    elif command == ".cache":
+        info = engine.plan_cache_info()
+        print(
+            f"plan cache: {info['size']}/{info['maxsize']} entries, "
+            f"{info['hits']} hits, {info['misses']} misses"
+        )
     elif command == ".explain" and argument:
         print(engine.explain(argument))
     elif command == ".load" and argument:
@@ -111,8 +123,11 @@ def main(argv: list) -> int:
         if not stripped and not buffer:
             continue
         if stripped.startswith(".") and not buffer:
-            if not handle_command(engine, stripped):
-                return 0
+            try:
+                if not handle_command(engine, stripped):
+                    return 0
+            except GCoreError as exc:
+                print(f"error: {exc}")
             continue
         # Multi-line input: a trailing backslash continues the statement.
         if stripped.endswith("\\"):

@@ -14,11 +14,11 @@ without partial rows.
 
 from __future__ import annotations
 
-from typing import Any, Callable, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Any, Callable, FrozenSet, Iterable, List, Optional
 
 from ..errors import EvaluationError
-from ..model.values import as_scalar, as_value_set
-from .binding import Binding, BindingTable
+from ..model.values import as_scalar
+from .binding import Binding
 
 __all__ = ["AGGREGATE_NAMES", "evaluate_aggregate", "is_aggregate_name"]
 

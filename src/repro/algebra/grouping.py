@@ -8,7 +8,7 @@ sentinel), so partial bindings group deterministically.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from .binding import Binding, BindingTable
 

@@ -11,7 +11,7 @@ with query results.
 from __future__ import annotations
 
 from collections import Counter, deque
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional
 
 from .model.graph import ObjectId, PathPropertyGraph
 

@@ -17,16 +17,37 @@ queries, a :class:`~repro.table.Table` for SELECT queries, and a
 :class:`~repro.eval.query.ViewResult` for GRAPH VIEW statements. The
 engine is composability in action: any returned graph can be registered
 and queried again (the paper's central design goal).
+
+Repeated traffic is served from a **prepared-query plan cache**:
+``run(text)`` keeps an LRU of :class:`PreparedQuery` objects keyed by the
+exact query text, so the second and later executions of the same
+statement skip lexing, parsing and planning entirely. ``prepare(text)``
+exposes the same object directly for parameterized hot loops::
+
+    prepared = engine.prepare("CONSTRUCT (n) MATCH (n:Person) "
+                              "WHERE n.employer = $company")
+    for company in companies:
+        prepared.run(params={"company": company})
+
+Any catalog mutation (``register_graph``, ``register_table``,
+``set_default_graph``, ``refresh_view``, ``register_path_view``)
+invalidates the cache — a prepared statement may reference catalog names
+whose meaning just changed. Per-graph atom orderings inside a
+:class:`PreparedQuery` are additionally keyed by graph object identity,
+so a ``PreparedQuery`` held across an invalidation still executes
+correctly; only its memoized plans go cold.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from collections import OrderedDict
+from typing import Dict, List, Optional, Set, Union
 
 from .catalog import Catalog
-from .errors import SemanticError
+from .errors import EvaluationError, SemanticError
 from .eval.context import EvalContext, IdFactory
 from .eval.match import evaluate_match
+from .eval.planner import PlanCache
 from .eval.query import QueryResult, ViewResult, evaluate_statement
 from .lang import ast
 from .lang.lexer import tokenize
@@ -35,15 +56,81 @@ from .model.graph import PathPropertyGraph
 from .table import Table
 from .algebra.binding import BindingTable
 
-__all__ = ["GCoreEngine"]
+__all__ = ["GCoreEngine", "PreparedQuery"]
+
+
+def _collect_params(node, names: Set[str]) -> None:
+    """Collect ``$name`` parameter slots from an AST (frozen dataclasses)."""
+    if isinstance(node, ast.Param):
+        names.add(node.name)
+    if hasattr(node, "__dataclass_fields__"):
+        for field in node.__dataclass_fields__:
+            _collect_params(getattr(node, field), names)
+    elif isinstance(node, (tuple, list, frozenset)):
+        for item in node:
+            _collect_params(item, names)
+
+
+class PreparedQuery:
+    """A parsed, plannable statement that can be executed many times.
+
+    Holds the parsed AST, the ``$name`` parameter slots found in it, and
+    a :class:`~repro.eval.planner.PlanCache` of resolved atom orderings
+    (filled on first execution, replayed afterwards). Obtained from
+    :meth:`GCoreEngine.prepare`; ``engine.run(text)`` transparently
+    reuses prepared queries through the engine's LRU cache.
+    """
+
+    __slots__ = ("engine", "text", "statement", "param_names", "plans",
+                 "executions")
+
+    def __init__(
+        self, engine: "GCoreEngine", text: str, statement: ast.Statement
+    ) -> None:
+        self.engine = engine
+        self.text = text
+        self.statement = statement
+        names: Set[str] = set()
+        _collect_params(statement, names)
+        self.param_names = frozenset(names)
+        self.plans = PlanCache()
+        self.executions = 0
+
+    def run(self, params: Optional[dict] = None) -> QueryResult:
+        """Execute the prepared statement (optionally with parameters)."""
+        missing = self.param_names - set(params or ())
+        if missing:
+            raise EvaluationError(
+                f"missing query parameters: {sorted(missing)}"
+            )
+        self.executions += 1
+        return self.engine._execute(self.statement, params, plans=self.plans)
+
+    def explain(self) -> str:
+        """The engine's EXPLAIN sketch for this statement."""
+        return self.engine.explain(self.text)
+
+    def __repr__(self) -> str:
+        return (
+            f"<PreparedQuery {self.text[:40]!r}... executions="
+            f"{self.executions}>"
+            if len(self.text) > 40
+            else f"<PreparedQuery {self.text!r} executions={self.executions}>"
+        )
 
 
 class GCoreEngine:
     """An in-memory G-CORE query engine over a graph catalog."""
 
+    #: Default capacity of the text -> PreparedQuery LRU cache.
+    PLAN_CACHE_SIZE = 128
+
     def __init__(self) -> None:
         self.catalog = Catalog()
         self._ids = IdFactory()
+        self._prepared: "OrderedDict[str, PreparedQuery]" = OrderedDict()
+        self._prepared_hits = 0
+        self._prepared_misses = 0
 
     # ------------------------------------------------------------------
     # Catalog management
@@ -53,10 +140,12 @@ class GCoreEngine:
     ) -> None:
         """Register *graph* under *name*; the first graph becomes default."""
         self.catalog.register_graph(name, graph, default=default)
+        self.clear_plan_cache()
 
     def register_table(self, name: str, table: Table) -> None:
         """Register a table for the Section 5 tabular extensions."""
         self.catalog.register_table(name, table)
+        self.clear_plan_cache()
 
     def register_path_view(self, text_or_clause) -> str:
         """Register a persistent PATH view from source text or an AST node.
@@ -71,6 +160,7 @@ class GCoreEngine:
             clause = parser._path_clause()
             parser.expect_eof()
         self.catalog.register_path_view(clause.name, clause)
+        self.clear_plan_cache()
         return clause.name
 
     def graph(self, name: str) -> PathPropertyGraph:
@@ -87,6 +177,7 @@ class GCoreEngine:
 
             raise UnknownGraphError(name)
         self.catalog.default_graph_name = name
+        self.clear_plan_cache()
 
     def refresh_view(self, name: str) -> PathPropertyGraph:
         """Re-evaluate a GRAPH VIEW against the current base graphs.
@@ -107,6 +198,7 @@ class GCoreEngine:
         if not isinstance(result, PathPropertyGraph):
             raise SemanticError(f"view {name!r} did not produce a graph")
         self.catalog.register_view(name, query, result)
+        self.clear_plan_cache()
         return result.with_name(name)
 
     # ------------------------------------------------------------------
@@ -119,6 +211,26 @@ class GCoreEngine:
         parser.expect_eof()
         return statement
 
+    def prepare(self, text: str) -> PreparedQuery:
+        """Parse *text* once and return a reusable :class:`PreparedQuery`.
+
+        The prepared query is also placed in the engine's LRU plan cache,
+        so subsequent ``run(text)`` calls with the identical text reuse
+        it. Repeated calls with the same text return the same object
+        until a catalog mutation invalidates the cache.
+        """
+        prepared = self._prepared.get(text)
+        if prepared is not None:
+            self._prepared.move_to_end(text)
+            self._prepared_hits += 1
+            return prepared
+        self._prepared_misses += 1
+        prepared = PreparedQuery(self, text, self.parse(text))
+        self._prepared[text] = prepared
+        while len(self._prepared) > self.PLAN_CACHE_SIZE:
+            self._prepared.popitem(last=False)
+        return prepared
+
     def run(
         self,
         text_or_statement: Union[str, ast.Statement],
@@ -128,16 +240,51 @@ class GCoreEngine:
 
         Results are graphs (CONSTRUCT queries), tables (SELECT queries) or
         :class:`~repro.eval.query.ViewResult` (GRAPH VIEW statements).
-        ``params`` supplies values for ``$name`` query parameters.
+        ``params`` supplies values for ``$name`` query parameters. Text
+        input goes through the prepared-query cache: running the same
+        query text again skips lexing, parsing and planning.
         """
         if isinstance(text_or_statement, (ast.Query, ast.GraphViewStmt)):
-            statement = text_or_statement
-        else:
-            statement = self.parse(text_or_statement)
+            return self._execute(text_or_statement, params)
+        prepared = self.prepare(str(text_or_statement))
+        return prepared.run(params)
+
+    def _execute(
+        self,
+        statement: ast.Statement,
+        params: Optional[dict] = None,
+        plans: Optional[PlanCache] = None,
+    ) -> QueryResult:
         ctx = EvalContext(self.catalog, self._ids)
         if params:
             ctx.params = dict(params)
-        return evaluate_statement(statement, ctx)
+        ctx.plan_cache = plans
+        result = evaluate_statement(statement, ctx)
+        if isinstance(result, ViewResult):
+            # GRAPH VIEW registered a materialization in the catalog:
+            # honor the mutation-invalidates-plans contract here too.
+            self.clear_plan_cache()
+        return result
+
+    # ------------------------------------------------------------------
+    # Plan-cache management
+    # ------------------------------------------------------------------
+    def plan_cache_info(self) -> Dict[str, int]:
+        """Hit/miss counters and occupancy of the prepared-query cache."""
+        return {
+            "hits": self._prepared_hits,
+            "misses": self._prepared_misses,
+            "size": len(self._prepared),
+            "maxsize": self.PLAN_CACHE_SIZE,
+        }
+
+    def clear_plan_cache(self) -> None:
+        """Drop all cached prepared queries (catalog mutations call this)."""
+        self._prepared.clear()
+
+    def is_plan_cached(self, text: str) -> bool:
+        """True iff ``run(text)`` would hit the prepared-query cache."""
+        return text in self._prepared
 
     def run_script(self, text: str) -> List[QueryResult]:
         """Execute a ``;``-separated sequence of statements."""
@@ -168,16 +315,36 @@ class GCoreEngine:
         return evaluate_match(match, ctx)
 
     def explain(self, text: str) -> str:
-        """A human-readable sketch of how a query would be evaluated."""
+        """A human-readable sketch of how a query would be evaluated.
+
+        Pattern atoms are listed in planner order with the heuristic
+        score and — when the target graph is resolvable — the estimated
+        output cardinality each atom had at selection time. The header
+        reports whether the query text currently sits in the
+        prepared-query cache (``plan: cached`` vs ``plan: cold``).
+        """
         from .eval.match import decompose_chain, _AnonNamer
         from .eval.planner import explain_order
+        from .lang.pretty import pretty_chain
 
         statement = self.parse(text)
         if isinstance(statement, ast.GraphViewStmt):
             query = statement.query
         else:
             query = statement
-        lines: List[str] = []
+        cached = "cached" if self.is_plan_cached(text) else "cold"
+        lines: List[str] = [f"plan: {cached}"]
+
+        def location_graph(location) -> Optional[PathPropertyGraph]:
+            """Best-effort resolution of a pattern's target graph."""
+            try:
+                if location.on is None:
+                    return self.catalog.default_graph()
+                if isinstance(location.on, str):
+                    return self.catalog.graph(location.on)
+            except Exception:
+                return None
+            return None  # ON (subquery): no statistics without running it
 
         def walk_body(body, indent: str) -> None:
             if isinstance(body, ast.SetOpQuery):
@@ -203,9 +370,16 @@ class GCoreEngine:
                                 if isinstance(location.on, str)
                                 else "<subquery>" if location.on else "<default>"
                             )
-                            lines.append(f"{indent}    pattern ON {on}")
+                            lines.append(
+                                f"{indent}    pattern ON {on}: "
+                                f"{pretty_chain(location.chain)}"
+                            )
+                            graph = location_graph(location)
+                            stats = (
+                                graph.statistics() if graph is not None else None
+                            )
                             atoms = decompose_chain(location.chain, namer)
-                            lines.append(explain_order(atoms, set()))
+                            lines.append(explain_order(atoms, set(), stats=stats))
 
         for head in query.heads:
             if isinstance(head, ast.PathClause):

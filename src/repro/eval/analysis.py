@@ -15,7 +15,7 @@ checks implement the paper's explicit restrictions:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set
 
 from ..errors import SemanticError
 from ..lang import ast

@@ -75,6 +75,13 @@ class EvalContext:
         # Disable the greedy atom ordering (syntax-order evaluation); the
         # planner-ablation benchmark (EXP-B1) flips this.
         self.naive_planner: bool = False
+        # Use graph statistics for cost-based ordering (the default);
+        # False falls back to the constant-weight heuristic, which is the
+        # other arm of the EXP-B1 ablation.
+        self.use_cost_planner: bool = True
+        # Memoized atom orderings, installed by PreparedQuery executions
+        # (see repro.eval.planner.PlanCache); None = plan every block.
+        self.plan_cache = None
         # Overlay for objects under construction (WHEN conditions can read
         # the properties of elements the CONSTRUCT is creating).
         self.overlay_labels: Dict[ObjectId, FrozenSet[str]] = {}
@@ -96,6 +103,8 @@ class EvalContext:
         child.active_graphs = list(self.active_graphs)
         child.current_graph = self.current_graph
         child.naive_planner = self.naive_planner
+        child.use_cost_planner = self.use_cost_planner
+        child.plan_cache = self.plan_cache
         child.overlay_labels = self.overlay_labels
         child.overlay_props = self.overlay_props
         child._segment_cache = self._segment_cache

@@ -19,7 +19,7 @@ a group is an error.
 
 from __future__ import annotations
 
-from typing import Any, Callable, FrozenSet, Iterable, Optional, Sequence
+from typing import Any, FrozenSet, Optional, Sequence
 
 from ..algebra.aggregates import evaluate_aggregate, is_aggregate_name
 from ..algebra.binding import Binding, BindingTable

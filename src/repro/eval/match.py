@@ -1,11 +1,13 @@
 """MATCH evaluation — Appendix A.2.
 
 A match block is decomposed into *atoms* — node, edge and path patterns —
-that are evaluated incrementally against a growing binding table. A small
-greedy planner (see :mod:`repro.eval.planner`) orders atoms so that
+that are evaluated incrementally against a growing binding table. A
+cost-based planner (see :mod:`repro.eval.planner`) orders atoms by
+estimated output cardinality over the graph's statistics so that
 selective, already-connected atoms run first; path atoms run once their
 source endpoint is bound, expanding via single-source product-graph
-searches.
+searches. Prepared queries memoize the chosen orderings per pattern site
+and graph (:class:`~repro.eval.planner.PlanCache`).
 
 Semantics notes:
 
@@ -558,6 +560,37 @@ def _block_default_graph(
     return None
 
 
+def _ordered_atoms(
+    atoms: List[object],
+    table: BindingTable,
+    location: ast.PatternLocation,
+    graph: PathPropertyGraph,
+    ctx: EvalContext,
+) -> List[object]:
+    """Plan a pattern, consulting the prepared-query plan cache if any.
+
+    Orderings are memoized per (pattern site, bound columns, graph) —
+    pattern evaluation order never affects the result (the semantics is a
+    join), so a cached permutation is always safe to replay against the
+    identical site and graph.
+    """
+    bound = set(table.columns)
+    if ctx.naive_planner:
+        return order_atoms(atoms, bound, naive=True)
+    stats = graph.statistics() if ctx.use_cost_planner else None
+    cache = ctx.plan_cache
+    if cache is None:
+        return order_atoms(atoms, bound, stats=stats)
+    columns = tuple(table.columns)
+    memoized = cache.lookup(location, columns, graph)
+    if memoized is not None and len(memoized) == len(atoms):
+        return [atoms[i] for i in memoized]
+    position = {id(atom): i for i, atom in enumerate(atoms)}
+    ordered = order_atoms(atoms, bound, stats=stats)
+    cache.store(location, columns, graph, [position[id(a)] for a in ordered])
+    return ordered
+
+
 def evaluate_block(
     block: ast.MatchBlock,
     ctx: EvalContext,
@@ -578,8 +611,7 @@ def evaluate_block(
             ctx.current_graph = graph
         ctx.touch_graph(graph)
         atoms = decompose_chain(location.chain, namer, name_anonymous_edges)
-        ordered = order_atoms(atoms, set(table.columns),
-                              naive=ctx.naive_planner)
+        ordered = _ordered_atoms(atoms, table, location, graph, ctx)
         for atom in ordered:
             if isinstance(atom, PathAtom):
                 table = atom.extend(table, graph, ev, ctx)
@@ -622,4 +654,10 @@ def chain_matches(chain: ast.Chain, ctx: EvalContext, row: Binding) -> bool:
     seed_row = row.project([v for v in variables if v in row])
     seed = BindingTable(tuple(seed_row.domain), [seed_row])
     block = ast.MatchBlock((ast.PatternLocation(chain, None),), None)
-    return bool(evaluate_block(block, ctx, seed=seed))
+    # The block above is rebuilt per row; don't churn the prepared-query
+    # plan cache with throwaway pattern sites.
+    saved_cache, ctx.plan_cache = ctx.plan_cache, None
+    try:
+        return bool(evaluate_block(block, ctx, seed=seed))
+    finally:
+        ctx.plan_cache = saved_cache

@@ -18,7 +18,7 @@ join constraints that may bind variables used by the COST expression.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 from ..errors import CostError, SemanticError
 from ..lang import ast
@@ -69,6 +69,9 @@ def materialize_path_view(
 
     sub_ctx = ctx.child()
     sub_ctx.current_graph = graph
+    # The block above is rebuilt per materialization; don't churn the
+    # prepared-query plan cache with throwaway pattern sites.
+    sub_ctx.plan_cache = None
     table = evaluate_block(
         block, sub_ctx, keep_anonymous=True, name_anonymous_edges=True
     )

@@ -1,8 +1,13 @@
-"""A greedy atom-ordering planner for MATCH evaluation.
+"""A cost-based atom-ordering planner for MATCH evaluation.
 
 The formal semantics joins every pattern's binding set; the order of
-evaluation only affects performance. This planner implements the standard
-"expand from what is bound" heuristic:
+evaluation only affects performance. When graph statistics are available
+(:meth:`PathPropertyGraph.statistics`), the planner runs a cardinality
+estimator: each atom gets an estimated output-rows-per-input-row factor
+given the currently bound variables, and the greedy loop always picks the
+atom that keeps the intermediate binding table smallest. Without
+statistics it falls back to the original hand-tuned heuristic
+(:func:`atom_score`), which encodes the same intuitions with constants:
 
 * atoms over already-bound variables run first (they only filter),
 * selective atoms (labels, property tests) run before unconstrained ones,
@@ -10,16 +15,42 @@ evaluation only affects performance. This planner implements the standard
 * path atoms run once their source endpoint is bound (one single-source
   product-graph search per distinct source).
 
-``naive=True`` disables the reordering (pure syntax order); the ablation
-benchmark EXP-B1 measures the difference.
+Selection uses a lazy-reevaluation heap instead of repeated ``max()``
+over a shrinking list: priorities only change when the bound-variable set
+grows, so stale entries are re-scored and re-pushed at most once per
+selection. ``naive=True`` disables reordering entirely (pure syntax
+order); the ablation benchmark EXP-B1 measures the difference.
+
+:func:`plan_atoms` returns the full trace — the score/estimate each atom
+actually had at selection time — which EXPLAIN renders; :class:`PlanCache`
+memoizes orderings per (pattern site, bound columns, graph) for the
+engine's prepared queries.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Set
+import heapq
+from collections import OrderedDict
+from typing import Iterable, List, NamedTuple, Optional, Sequence, Set, Tuple
 
-__all__ = ["order_atoms", "atom_score", "explain_order"]
+__all__ = [
+    "atom_score",
+    "estimate_cardinality",
+    "order_atoms",
+    "plan_atoms",
+    "explain_order",
+    "PlanStep",
+    "PlanCache",
+]
 
+#: Fraction of the node set assumed reachable by an unconstrained
+#: regular-path search from a bound source.
+_REACH_FRACTION = 0.5
+
+
+# ---------------------------------------------------------------------------
+# Heuristic scores (statistics-free fallback; also the EXP-B1 baseline)
+# ---------------------------------------------------------------------------
 
 def atom_score(atom, bound: Set[str]) -> int:
     """The greedy priority of *atom* given already-bound variables."""
@@ -57,30 +88,245 @@ def atom_score(atom, bound: Set[str]) -> int:
     return 0
 
 
-def order_atoms(atoms: Sequence[object], bound: Iterable[str],
-                naive: bool = False) -> List[object]:
+# ---------------------------------------------------------------------------
+# Cardinality estimation (statistics-driven cost model)
+# ---------------------------------------------------------------------------
+
+def _node_estimate(atom, bound: Set[str], stats) -> float:
+    pattern = atom.pattern
+    selectivity = stats.label_selectivity("node", pattern.labels)
+    selectivity *= stats.property_tests_selectivity(
+        "node", (key for key, _ in pattern.prop_tests)
+    )
+    if atom.var in bound:
+        return min(selectivity, 1.0)
+    return stats.node_count * selectivity
+
+
+def _edge_estimate(atom, bound: Set[str], stats) -> float:
+    pattern = atom.pattern
+    matching = stats.edge_count * stats.label_selectivity("edge", pattern.labels)
+    matching *= stats.property_tests_selectivity(
+        "edge", (key for key, _ in pattern.prop_tests)
+    )
+    nodes = max(stats.node_count, 1)
+    undirected = 2.0 if pattern.direction == "undirected" else 1.0
+    if atom.var and atom.var in bound:
+        # The edge object itself is fixed: a pure filter.
+        return min(matching / max(stats.edge_count, 1), 1.0)
+    endpoints_bound = (atom.src_var in bound) + (atom.dst_var in bound)
+    if endpoints_bound == 2:
+        # Expected parallel edges between two specific endpoints.
+        return undirected * matching / (nodes * nodes)
+    if endpoints_bound == 1:
+        # Expected fan from a uniformly chosen bound endpoint.
+        return undirected * matching / nodes
+    return undirected * matching
+
+
+def _path_estimate(atom, bound: Set[str], stats) -> float:
+    pattern = atom.pattern
+    nodes = max(stats.node_count, 1)
+    if pattern.stored:
+        matching = stats.path_count * stats.label_selectivity(
+            "path", pattern.labels
+        )
+        if pattern.var and pattern.var in bound:
+            return min(matching / max(stats.path_count, 1), 1.0)
+        if atom.from_var in bound:
+            matching /= nodes
+        if atom.to_var in bound:
+            matching /= nodes
+        return matching
+    fanout = max(nodes * _REACH_FRACTION, 1.0)
+    if pattern.mode not in ("reach", "all"):
+        fanout *= max(pattern.count, 1)
+    if atom.from_var in bound:
+        if atom.to_var in bound:
+            return 1.0
+        return fanout
+    # Unbound source: one product-graph search per node — schedule last.
+    return nodes * fanout
+
+
+def estimate_cardinality(atom, bound: Iterable[str], stats) -> float:
+    """Estimated output rows per input row for *atom* under *bound*.
+
+    Values below 1.0 mean the atom is expected to shrink the binding
+    table (a filter); values above 1.0 mean expansion. The estimate is
+    relative — the greedy planner only compares atoms against each other
+    at the same step — but on simple scans it equals the true output
+    cardinality (tested against the paper's instances).
+    """
+    bound_set = set(bound)
+    kind = atom.kind
+    if kind == "node":
+        return _node_estimate(atom, bound_set, stats)
+    if kind == "edge":
+        return _edge_estimate(atom, bound_set, stats)
+    if kind == "path":
+        return _path_estimate(atom, bound_set, stats)
+    return float(stats.node_count)
+
+
+# ---------------------------------------------------------------------------
+# Greedy ordering
+# ---------------------------------------------------------------------------
+
+class PlanStep(NamedTuple):
+    """One planning decision: the atom and its selection-time priority."""
+
+    atom: object
+    score: int
+    estimate: Optional[float]
+
+
+def plan_atoms(
+    atoms: Sequence[object],
+    bound: Iterable[str],
+    naive: bool = False,
+    stats=None,
+) -> List[PlanStep]:
+    """Order *atoms* and record the priority each had when selected.
+
+    With *stats* the priority is the estimated cardinality (lower runs
+    first); without, the heuristic :func:`atom_score` (higher runs
+    first). Ties break on syntax order. The returned steps carry the
+    selection-time score/estimate so EXPLAIN reports what the planner
+    actually compared, not a post-hoc recomputation.
+    """
+    bound_set: Set[str] = set(bound)
+
+    def priority(atom) -> Tuple[float, int]:
+        score = atom_score(atom, bound_set)
+        if stats is None:
+            return (-score, 0)
+        # Estimate first, heuristic score as a tie-breaker between atoms
+        # with identical estimates (e.g. two unlabeled scans).
+        return (estimate_cardinality(atom, bound_set, stats), -score)
+
+    if naive:
+        steps = []
+        for atom in atoms:
+            estimate = (
+                estimate_cardinality(atom, bound_set, stats)
+                if stats is not None
+                else None
+            )
+            steps.append(PlanStep(atom, atom_score(atom, bound_set), estimate))
+            bound_set |= atom.binds()
+        return steps
+
+    heap: List[Tuple[Tuple[float, int], int]] = [
+        (priority(atom), index) for index, atom in enumerate(atoms)
+    ]
+    heapq.heapify(heap)
+    steps: List[PlanStep] = []
+    while heap:
+        stale_priority, index = heapq.heappop(heap)
+        atom = atoms[index]
+        current = priority(atom)
+        if current != stale_priority:
+            # Bound variables grew since this entry was pushed; re-score.
+            heapq.heappush(heap, (current, index))
+            continue
+        estimate = current[0] if stats is not None else None
+        steps.append(PlanStep(atom, atom_score(atom, bound_set), estimate))
+        bound_set |= atom.binds()
+    return steps
+
+
+def order_atoms(
+    atoms: Sequence[object],
+    bound: Iterable[str],
+    naive: bool = False,
+    stats=None,
+) -> List[object]:
     """Order *atoms* for evaluation, starting from *bound* variables."""
     if naive:
         return list(atoms)
-    bound_set: Set[str] = set(bound)
-    remaining = list(atoms)
-    ordered: List[object] = []
-    while remaining:
-        best = max(remaining, key=lambda atom: atom_score(atom, bound_set))
-        remaining.remove(best)
-        ordered.append(best)
-        bound_set |= best.binds()
-    return ordered
+    return [step.atom for step in plan_atoms(atoms, bound, stats=stats)]
 
 
-def explain_order(atoms: Sequence[object], bound: Iterable[str]) -> str:
-    """A human-readable trace of the chosen order (EXPLAIN support)."""
-    bound_set: Set[str] = set(bound)
+def explain_order(
+    atoms: Sequence[object],
+    bound: Iterable[str],
+    stats=None,
+    naive: bool = False,
+) -> str:
+    """A human-readable trace of the chosen order (EXPLAIN support).
+
+    Each line reports the score (and, with statistics, the estimated
+    output cardinality) the atom had at the moment the planner selected
+    it — taken from the recorded :class:`PlanStep`, so the numbers match
+    the actual planning decisions.
+    """
     lines: List[str] = []
-    for atom in order_atoms(atoms, bound_set):
-        score = atom_score(atom, bound_set)
-        described = getattr(atom, "var", None) or getattr(atom, "pattern", None)
-        lines.append(f"  {atom.kind:<5} score={score:<3} binds={sorted(atom.binds())}")
-        bound_set |= atom.binds()
-        del described
+    for step in plan_atoms(atoms, bound, naive=naive, stats=stats):
+        detail = f"score={step.score:<3}"
+        if step.estimate is not None:
+            detail += f" est~{_format_estimate(step.estimate):<8}"
+        lines.append(
+            f"  {step.atom.kind:<5} {detail} binds={sorted(step.atom.binds())}"
+        )
     return "\n".join(lines)
+
+
+def _format_estimate(estimate: float) -> str:
+    if estimate >= 100 or estimate == int(estimate):
+        return f"{estimate:.0f}"
+    return f"{estimate:.2f}"
+
+
+# ---------------------------------------------------------------------------
+# Plan memoization (prepared queries)
+# ---------------------------------------------------------------------------
+
+class PlanCache:
+    """An LRU memo of atom orderings, keyed by pattern site and graph.
+
+    A :class:`~repro.engine.PreparedQuery` owns one of these; the match
+    evaluator consults it before planning so repeated executions of the
+    same statement skip ordering work entirely. Entries pin the pattern
+    location and graph objects and are validated by identity — a graph
+    re-registered under the same name is a different object and simply
+    misses, so stale orderings can never be replayed.
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, site, columns: Tuple[str, ...], graph) -> Optional[List[int]]:
+        """The memoized ordering (as atom indices), or None."""
+        key = (id(site), columns, id(graph))
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        entry_site, entry_graph, order = entry
+        if entry_site is not site or entry_graph is not graph:
+            # id() reuse after garbage collection; drop the stale entry.
+            del self._entries[key]
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return order
+
+    def store(
+        self, site, columns: Tuple[str, ...], graph, order: List[int]
+    ) -> None:
+        key = (id(site), columns, id(graph))
+        self._entries[key] = (site, graph, list(order))
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, Optional, Union
 
 from ..algebra.binding import Binding, BindingTable
-from ..errors import EvaluationError, SemanticError
+from ..errors import SemanticError
 from ..lang import ast
 from ..model.graph import PathPropertyGraph
 from ..model.setops import graph_difference, graph_intersect, graph_union

@@ -9,13 +9,11 @@ items (with an implicit single group when no GROUP BY is given).
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, List, Sequence, Tuple
 
 from ..algebra.binding import Binding, BindingTable
-from ..errors import EvaluationError
 from ..lang import ast
 from ..lang.pretty import pretty_expr
-from ..model.values import as_scalar
 from ..table import Table
 from .context import EvalContext
 from .expressions import ExpressionEvaluator, expr_has_aggregate

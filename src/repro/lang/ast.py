@@ -17,7 +17,7 @@ depend on the parser.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional, Tuple, Union
 
 __all__ = [

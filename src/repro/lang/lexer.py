@@ -17,7 +17,7 @@ identifiers are case-sensitive. ``#`` starts a line comment.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import List
 
 from ..errors import LexerError
 

@@ -8,14 +8,18 @@ Public surface:
 * :mod:`~repro.model.setops` — UNION / INTERSECT / MINUS on whole graphs.
 * :mod:`~repro.model.io` — JSON round-tripping.
 * :mod:`~repro.model.schema` — structural schemas; the SNB schema (Fig. 3).
+* :mod:`~repro.model.statistics` — summary statistics for cost-based
+  planning (``graph.statistics()``).
 """
 
 from .builder import GraphBuilder
 from .graph import ObjectId, PathPropertyGraph, path_edges, path_nodes
 from .setops import empty_graph, graph_difference, graph_intersect, graph_union
+from .statistics import GraphStatistics
 from .values import Date, ValueSet, as_value_set
 
 __all__ = [
+    "GraphStatistics",
     "GraphBuilder",
     "ObjectId",
     "PathPropertyGraph",

@@ -76,6 +76,7 @@ class PathPropertyGraph:
         "_node_label_index",
         "_edge_label_index",
         "_path_label_index",
+        "_statistics",
     )
 
     def __init__(
@@ -113,6 +114,7 @@ class PathPropertyGraph:
         self._node_label_index: Optional[Dict[str, FrozenSet[ObjectId]]] = None
         self._edge_label_index: Optional[Dict[str, FrozenSet[ObjectId]]] = None
         self._path_label_index: Optional[Dict[str, FrozenSet[ObjectId]]] = None
+        self._statistics = None
         if validate:
             self._check_invariants()
 
@@ -324,6 +326,20 @@ class PathPropertyGraph:
         if self._path_label_index is None:
             self._build_label_indexes()
         return self._path_label_index.get(label, frozenset())
+
+    def statistics(self):
+        """Summary statistics for cost-based planning (lazily cached).
+
+        Returns a :class:`~repro.model.statistics.GraphStatistics`; the
+        graph is immutable, so the first call computes it and later calls
+        are O(1). The planner consults these counts to estimate atom
+        cardinalities (see :mod:`repro.eval.planner`).
+        """
+        if self._statistics is None:
+            from .statistics import GraphStatistics  # local import: cycle
+
+            self._statistics = GraphStatistics(self)
+        return self._statistics
 
     # ------------------------------------------------------------------
     # Whole-graph views

@@ -22,13 +22,13 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Any, Dict, IO, Iterable, List, Optional, Tuple, Union
+from typing import Any, Dict, IO, List, Optional, Union
 
 from ..errors import GraphModelError
 from ..table import Table
 from .builder import GraphBuilder
 from .graph import PathPropertyGraph
-from .values import Date, Scalar
+from .values import Date
 
 __all__ = [
     "load_graph_csv",

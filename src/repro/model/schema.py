@@ -10,7 +10,7 @@ carry — plus a validator used by the dataset generator's tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Set, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from ..errors import ValidationError
 from .graph import PathPropertyGraph

@@ -1,0 +1,217 @@
+"""Graph summary statistics for cost-based MATCH planning.
+
+:class:`GraphStatistics` condenses a :class:`~repro.model.graph.PathPropertyGraph`
+into the counts a cardinality estimator needs:
+
+* node / edge / path totals and per-label counts,
+* average out- and in-degree per edge label (edges of that label divided
+  by the node count — the expected fan from a uniformly chosen node),
+* property-key selectivity per object kind: the expected fraction of
+  objects satisfying an equality test ``{key = const}``, computed as
+  (objects carrying the key / objects) x (1 / distinct values of the key).
+
+Graphs are immutable, so the statistics are computed once per graph and
+cached on it (see :meth:`PathPropertyGraph.statistics`); building them is
+a single O(N + E + P) pass over the public accessors.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .graph import ObjectId, PathPropertyGraph
+
+__all__ = ["GraphStatistics"]
+
+#: Selectivity assumed for an equality test on a key we have no data for.
+DEFAULT_SELECTIVITY = 0.1
+
+
+class GraphStatistics:
+    """Immutable summary statistics of one :class:`PathPropertyGraph`."""
+
+    __slots__ = (
+        "node_count",
+        "edge_count",
+        "path_count",
+        "node_label_counts",
+        "edge_label_counts",
+        "path_label_counts",
+        "edge_label_sources",
+        "edge_label_targets",
+        "_node_prop_sel",
+        "_edge_prop_sel",
+        "_path_prop_sel",
+    )
+
+    def __init__(self, graph: "PathPropertyGraph") -> None:
+        self.node_count = len(graph.nodes)
+        self.edge_count = len(graph.edges)
+        self.path_count = len(graph.paths)
+
+        node_labels: Dict[str, int] = {}
+        edge_labels: Dict[str, int] = {}
+        path_labels: Dict[str, int] = {}
+        sources: Dict[str, Set["ObjectId"]] = {}
+        targets: Dict[str, Set["ObjectId"]] = {}
+        for node in graph.nodes:
+            for label in graph.labels(node):
+                node_labels[label] = node_labels.get(label, 0) + 1
+        for edge in graph.edges:
+            src, dst = graph.endpoints(edge)
+            for label in graph.labels(edge):
+                edge_labels[label] = edge_labels.get(label, 0) + 1
+                sources.setdefault(label, set()).add(src)
+                targets.setdefault(label, set()).add(dst)
+        for pid in graph.paths:
+            for label in graph.labels(pid):
+                path_labels[label] = path_labels.get(label, 0) + 1
+        self.node_label_counts = node_labels
+        self.edge_label_counts = edge_labels
+        self.path_label_counts = path_labels
+        self.edge_label_sources = {l: len(s) for l, s in sources.items()}
+        self.edge_label_targets = {l: len(s) for l, s in targets.items()}
+
+        self._node_prop_sel = self._property_selectivities(graph, graph.nodes)
+        self._edge_prop_sel = self._property_selectivities(graph, graph.edges)
+        self._path_prop_sel = self._property_selectivities(graph, graph.paths)
+
+    @staticmethod
+    def _property_selectivities(
+        graph: "PathPropertyGraph", objects: Iterable["ObjectId"]
+    ) -> Dict[str, float]:
+        carriers: Dict[str, int] = {}
+        distinct: Dict[str, Set[object]] = {}
+        total = 0
+        for obj in objects:
+            total += 1
+            for key, values in graph.properties(obj).items():
+                carriers[key] = carriers.get(key, 0) + 1
+                distinct.setdefault(key, set()).update(values)
+        if not total:
+            return {}
+        return {
+            key: (count / total) / max(len(distinct[key]), 1)
+            for key, count in carriers.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Label counts
+    # ------------------------------------------------------------------
+    def node_label_count(self, label: str) -> int:
+        """Number of nodes carrying *label*."""
+        return self.node_label_counts.get(label, 0)
+
+    def edge_label_count(self, label: str) -> int:
+        """Number of edges carrying *label*."""
+        return self.edge_label_counts.get(label, 0)
+
+    def path_label_count(self, label: str) -> int:
+        """Number of stored paths carrying *label*."""
+        return self.path_label_counts.get(label, 0)
+
+    # ------------------------------------------------------------------
+    # Degrees
+    # ------------------------------------------------------------------
+    def avg_out_degree(self, label: Optional[str] = None) -> float:
+        """Expected number of outgoing *label* edges of a random node."""
+        count = self.edge_count if label is None else self.edge_label_count(label)
+        return count / max(self.node_count, 1)
+
+    def avg_in_degree(self, label: Optional[str] = None) -> float:
+        """Expected number of incoming *label* edges of a random node."""
+        return self.avg_out_degree(label)
+
+    def fan_out(self, label: str) -> float:
+        """Average *label* out-degree over nodes that have one at all."""
+        count = self.edge_label_count(label)
+        return count / max(self.edge_label_sources.get(label, 0), 1)
+
+    def fan_in(self, label: str) -> float:
+        """Average *label* in-degree over nodes that have one at all."""
+        count = self.edge_label_count(label)
+        return count / max(self.edge_label_targets.get(label, 0), 1)
+
+    # ------------------------------------------------------------------
+    # Selectivities
+    # ------------------------------------------------------------------
+    def label_selectivity(
+        self, kind: str, labels: Tuple[Tuple[str, ...], ...]
+    ) -> float:
+        """Fraction of *kind* objects satisfying a label conjunction.
+
+        ``labels`` follows the pattern convention: a conjunction of
+        disjunction groups (``:A|B:C`` means (A or B) and C). Groups are
+        assumed independent; each contributes ``matched / total``.
+        """
+        total, counts = {
+            "node": (self.node_count, self.node_label_counts),
+            "edge": (self.edge_count, self.edge_label_counts),
+            "path": (self.path_count, self.path_label_counts),
+        }[kind]
+        if not labels:
+            return 1.0
+        if not total:
+            return 0.0
+        selectivity = 1.0
+        for group in labels:
+            matched = min(sum(counts.get(l, 0) for l in group), total)
+            selectivity *= matched / total
+        return selectivity
+
+    def property_selectivity(self, kind: str, key: str) -> float:
+        """Expected fraction of *kind* objects matching ``{key = const}``."""
+        table = {
+            "node": self._node_prop_sel,
+            "edge": self._edge_prop_sel,
+            "path": self._path_prop_sel,
+        }[kind]
+        return table.get(key, DEFAULT_SELECTIVITY)
+
+    def property_tests_selectivity(self, kind: str, keys: Iterable[str]) -> float:
+        """Combined (independence-assumption) selectivity of equality tests."""
+        selectivity = 1.0
+        for key in keys:
+            selectivity *= self.property_selectivity(kind, key)
+        return selectivity
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """A deterministic multi-line dump (REPL ``.stats`` command)."""
+        lines = [
+            f"nodes={self.node_count} edges={self.edge_count} "
+            f"paths={self.path_count}"
+        ]
+        for title, counts in (
+            ("node labels", self.node_label_counts),
+            ("edge labels", self.edge_label_counts),
+            ("path labels", self.path_label_counts),
+        ):
+            if counts:
+                body = ", ".join(
+                    f"{label}={counts[label]}" for label in sorted(counts)
+                )
+                lines.append(f"  {title}: {body}")
+        if self.edge_label_counts:
+            degrees = ", ".join(
+                f"{label}={self.avg_out_degree(label):.2f}"
+                for label in sorted(self.edge_label_counts)
+            )
+            lines.append(f"  avg out-degree: {degrees}")
+        for title, table in (
+            ("node key selectivity", self._node_prop_sel),
+            ("edge key selectivity", self._edge_prop_sel),
+        ):
+            if table:
+                body = ", ".join(
+                    f"{key}={table[key]:.3f}" for key in sorted(table)
+                )
+                lines.append(f"  {title}: {body}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<GraphStatistics: {self.node_count} nodes, "
+            f"{self.edge_count} edges, {self.path_count} paths>"
+        )

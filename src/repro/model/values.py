@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Any, FrozenSet, Iterable, Union
+from typing import Any, FrozenSet, Union
 
 __all__ = [
     "Date",

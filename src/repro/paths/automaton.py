@@ -17,8 +17,8 @@ with epsilon moves.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Set, Tuple
 
 from ..errors import SemanticError
 from ..lang import ast

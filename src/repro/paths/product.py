@@ -37,7 +37,7 @@ from typing import (
 )
 
 from ..model.graph import ObjectId, PathPropertyGraph
-from .automaton import NFA, Arc
+from .automaton import NFA
 from .walk import Walk
 
 __all__ = ["ViewSegment", "PathFinder"]

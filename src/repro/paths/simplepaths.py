@@ -11,7 +11,7 @@ exponential blow-up with the polynomial product-graph search.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Set, Tuple
+from typing import Iterator, Optional, Set, Tuple
 
 from ..model.graph import ObjectId, PathPropertyGraph
 from .automaton import NFA

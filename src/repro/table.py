@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .errors import EvaluationError
-from .model.values import format_value_set, is_scalar
+from .model.values import format_value_set
 
 __all__ = ["Table"]
 

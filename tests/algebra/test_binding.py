@@ -1,6 +1,5 @@
 """Unit tests for bindings and binding tables (Appendix A.1)."""
 
-import pytest
 
 from repro.algebra.binding import EMPTY_BINDING, Binding, BindingTable
 

@@ -1,6 +1,5 @@
 """Sanity checks of the reconstructed paper instances (DESIGN.md table)."""
 
-import pytest
 
 from repro.datasets import company_graph, figure2_graph, orders_table, social_graph
 from repro.model.schema import snb_schema

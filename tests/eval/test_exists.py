@@ -1,6 +1,5 @@
 """EXISTS subqueries — explicit and implicit (Section 3, Appendix A.2)."""
 
-import pytest
 
 
 class TestImplicitExistential:

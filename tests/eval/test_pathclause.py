@@ -4,7 +4,6 @@ import pytest
 
 from repro import GCoreEngine, GraphBuilder
 from repro.errors import CostError, UnknownPathViewError
-from repro.paths.walk import Walk
 
 
 @pytest.fixture()

@@ -1,6 +1,5 @@
 """SELECT (tabular projection) tests — Section 5."""
 
-import pytest
 
 from repro.table import Table
 

@@ -6,7 +6,6 @@ from repro import GCoreEngine, GraphBuilder, ParseError, UnknownGraphError
 from repro.datasets import social_graph
 from repro.eval.query import ViewResult
 from repro.model.io import dumps_graph, loads_graph
-from repro.table import Table
 
 
 class TestEngineBasics:

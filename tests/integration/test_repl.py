@@ -1,10 +1,7 @@
 """Smoke tests for the interactive shell (python -m repro)."""
 
-import io
 import subprocess
 import sys
-
-import pytest
 
 
 def run_shell(script: str) -> str:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ParseError
 from repro.lang import ast
-from repro.lang.parser import parse_expression, parse_query, parse_statement
+from repro.lang.parser import parse_query, parse_statement
 
 
 class TestBasicQueries:

@@ -1,7 +1,7 @@
 """Unit tests for regex compilation into NFAs."""
 
 from repro.lang import ast
-from repro.paths.automaton import Arc, compile_regex, regex_view_names
+from repro.paths.automaton import compile_regex, regex_view_names
 
 
 def arcs_from_start(nfa):

@@ -1,12 +1,10 @@
 """Unit tests for the product-graph path search."""
 
-import pytest
 
 from repro.lang import ast
 from repro.model.builder import GraphBuilder
 from repro.paths.automaton import compile_regex
 from repro.paths.product import PathFinder, ViewSegment
-from repro.paths.walk import Walk
 
 
 def line_graph(n=5, label="k"):

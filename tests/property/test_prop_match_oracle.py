@@ -12,7 +12,7 @@ import itertools
 
 from hypothesis import given, settings, strategies as st
 
-from repro.algebra.binding import Binding, BindingTable
+from repro.algebra.binding import Binding
 from repro.catalog import Catalog
 from repro.eval.context import EvalContext
 from repro.eval.match import evaluate_block
