@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate: diff a pytest-benchmark run against a baseline.
+
+CI runs the smoke benchmarks per PR and calls this script to compare the
+fresh ``--benchmark-json`` output against the committed
+``BENCH_BASELINE.json``. Because the baseline was recorded on different
+hardware than the CI runner, raw ratios mix machine speed with real
+regressions; the gate therefore normalizes every benchmark's
+current/baseline ratio by the *median* ratio across all benchmarks (the
+machine-speed factor) and fails only when a benchmark is more than
+``--threshold`` (default 1.5) times slower than that factor — i.e. it
+regressed relative to the rest of the suite.
+
+Usage::
+
+    # gate (exit 1 on regression), writing a delta table for CI
+    python benchmarks/compare_baseline.py BENCH_BASELINE.json \
+        benchmark-results.json --threshold 1.5 --summary "$GITHUB_STEP_SUMMARY"
+
+    # refresh the committed baseline from a fresh smoke run
+    python benchmarks/compare_baseline.py --update BENCH_BASELINE.json \
+        benchmark-results.json
+
+The baseline is the reduced form ``{"stat": ..., "recorded_with": ...,
+"benchmarks": {fullname: seconds}}``; ``--update`` produces it from a raw
+pytest-benchmark JSON. Stdlib only — no third-party imports.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_times(path, stat):
+    """``{fullname: seconds}`` from a raw pytest-benchmark JSON or a
+    reduced baseline file."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if isinstance(payload.get("benchmarks"), dict):
+        return dict(payload["benchmarks"])  # reduced baseline
+    return {
+        bench["fullname"]: bench["stats"][stat]
+        for bench in payload.get("benchmarks", [])
+    }
+
+
+def write_baseline(baseline_path, results_path, stat):
+    times = load_times(results_path, stat)
+    if not times:
+        print(f"no benchmarks found in {results_path}", file=sys.stderr)
+        return 1
+    payload = {
+        "stat": stat,
+        "recorded_with": "BENCH_SMOKE=1 --benchmark-min-rounds=1 "
+        "--benchmark-warmup=off --benchmark-max-time=0.05",
+        "benchmarks": {name: times[name] for name in sorted(times)},
+    }
+    with open(baseline_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(times)} baseline entries to {baseline_path}")
+    return 0
+
+
+def compare(baseline_path, results_path, stat, threshold, summary_path):
+    baseline = load_times(baseline_path, stat)
+    current = load_times(results_path, stat)
+    shared = sorted(set(baseline) & set(current))
+    added = sorted(set(current) - set(baseline))
+    removed = sorted(set(baseline) - set(current))
+    if not shared:
+        print("no overlapping benchmarks between baseline and results",
+              file=sys.stderr)
+        return 1
+
+    ratios = {name: current[name] / baseline[name] for name in shared}
+    speed_factor = statistics.median(ratios.values())
+    rows = []
+    regressions = []
+    for name in shared:
+        normalized = ratios[name] / speed_factor
+        status = "ok"
+        if normalized > threshold:
+            status = "REGRESSION"
+            regressions.append((name, normalized))
+        elif normalized < 1 / threshold:
+            status = "improved"
+        rows.append((name, baseline[name], current[name], ratios[name],
+                     normalized, status))
+
+    lines = [
+        "## Benchmark regression gate",
+        "",
+        f"Machine-speed factor (median current/baseline ratio): "
+        f"`{speed_factor:.3f}`; threshold: `{threshold}x` normalized.",
+        "",
+        "| benchmark | baseline | current | ratio | normalized | status |",
+        "| --- | ---: | ---: | ---: | ---: | --- |",
+    ]
+    for name, base, cur, ratio, normalized, status in rows:
+        flag = {"REGRESSION": "❌", "improved": "✅"}.get(status, "")
+        lines.append(
+            f"| `{name}` | {base * 1000:.3f} ms | {cur * 1000:.3f} ms "
+            f"| {ratio:.2f}x | {normalized:.2f}x | {flag} {status} |"
+        )
+    for name in added:
+        lines.append(f"| `{name}` | — | {current[name] * 1000:.3f} ms "
+                     f"| — | — | new |")
+    for name in removed:
+        lines.append(f"| `{name}` | {baseline[name] * 1000:.3f} ms | — "
+                     f"| — | — | missing |")
+    report = "\n".join(lines)
+    print(report)
+    if summary_path:
+        with open(summary_path, "a") as handle:
+            handle.write(report + "\n")
+
+    if removed:
+        print(f"\nWARNING: {len(removed)} baseline benchmark(s) missing "
+              "from this run", file=sys.stderr)
+    if regressions:
+        worst = max(regressions, key=lambda item: item[1])
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) slower than "
+            f"{threshold}x the machine-normalized baseline "
+            f"(worst: {worst[0]} at {worst[1]:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: no benchmark beyond {threshold}x normalized slowdown")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="reduced baseline JSON")
+    parser.add_argument("results", help="raw pytest-benchmark JSON")
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="max allowed normalized slowdown (default 1.5)")
+    parser.add_argument("--stat", default="mean",
+                        help="pytest-benchmark stat to compare (default mean)")
+    parser.add_argument("--summary", default="",
+                        help="file to append the markdown delta table to "
+                        "(e.g. $GITHUB_STEP_SUMMARY)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the results instead "
+                        "of comparing")
+    args = parser.parse_args(argv)
+    if args.update:
+        return write_baseline(args.baseline, args.results, args.stat)
+    return compare(args.baseline, args.results, args.stat, args.threshold,
+                   args.summary)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

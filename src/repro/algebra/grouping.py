@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Sequence, Tuple
 
-from .binding import Binding, BindingTable
+from .binding import ABSENT, Binding, BindingTable
 
 __all__ = ["MISSING", "group_key", "group_by"]
 
@@ -50,13 +50,20 @@ def group_by(
     that downstream identifier generation (the skolem ``new`` function) is
     reproducible run-to-run.
     """
-    groups: Dict[Tuple[Any, ...], List[Binding]] = {}
-    for row in table:
-        groups.setdefault(group_key(row, variables), []).append(row)
+    nrows = len(table)
+    vectors = []
+    for var in variables:
+        vector = table.column_values(var)
+        vectors.append(vector if vector is not None else [ABSENT] * nrows)
+    groups: Dict[Tuple[Any, ...], List[int]] = {}
+    for index in range(nrows):
+        key = tuple(
+            MISSING if vector[index] is ABSENT else vector[index]
+            for vector in vectors
+        )
+        groups.setdefault(key, []).append(index)
     ordered = sorted(
         groups.items(),
         key=lambda item: tuple(_sort_token(v) for v in item[0]),
     )
-    return [
-        (key, BindingTable(table.columns, rows)) for key, rows in ordered
-    ]
+    return [(key, table.select_rows(indices)) for key, indices in ordered]

@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, FrozenSet, Iterable, List, Tuple
 
-from .binding import Binding, BindingTable
+from .binding import ABSENT, Binding, BindingTable
 
 __all__ = [
     "table_union",
@@ -37,8 +37,22 @@ def _merged_columns(left: BindingTable, right: BindingTable) -> Tuple[str, ...]:
 
 
 def table_union(left: BindingTable, right: BindingTable) -> BindingTable:
-    """``O1 u O2`` — set union of the rows."""
-    return BindingTable(_merged_columns(left, right), tuple(left) + tuple(right))
+    """``O1 u O2`` — set union of the rows (columnar concatenation)."""
+    columns = _merged_columns(left, right)
+    variables = tuple(
+        dict.fromkeys(tuple(left.variables) + tuple(right.variables))
+    )
+    n_left, n_right = len(left), len(right)
+    data: Dict[str, List] = {}
+    for var in variables:
+        left_vector = left.column_values(var)
+        right_vector = right.column_values(var)
+        vector = list(left_vector) if left_vector is not None else [ABSENT] * n_left
+        vector.extend(right_vector if right_vector is not None else [ABSENT] * n_right)
+        data[var] = vector
+    return BindingTable.from_columns(
+        columns, variables, data, n_left + n_right, dedup=True
+    )
 
 
 def _shared_variables(left: BindingTable, right: BindingTable) -> FrozenSet[str]:
@@ -96,19 +110,20 @@ def table_join(left: BindingTable, right: BindingTable) -> BindingTable:
 
 
 def table_semijoin(left: BindingTable, right: BindingTable) -> BindingTable:
-    """``O1 |>< O2`` — left rows that have a compatible right row."""
-    survivors = set()
-    for left_row, _ in _join_pairs(left, right):
-        survivors.add(left_row)
-    return BindingTable(left.columns, (row for row in left if row in survivors))
+    """``O1 |>< O2`` — left rows that have a compatible right row.
+
+    Survivors are tracked by row-view identity: a table's cached views are
+    stable, so ``_join_pairs`` and the filter below see the same objects
+    and no re-hashing of bindings is needed.
+    """
+    survivors = {id(left_row) for left_row, _ in _join_pairs(left, right)}
+    return left.filter(lambda row: id(row) in survivors)
 
 
 def table_antijoin(left: BindingTable, right: BindingTable) -> BindingTable:
     """``O1 \\ O2`` — left rows with *no* compatible right row."""
-    blocked = set()
-    for left_row, _ in _join_pairs(left, right):
-        blocked.add(left_row)
-    return BindingTable(left.columns, (row for row in left if row not in blocked))
+    blocked = {id(left_row) for left_row, _ in _join_pairs(left, right)}
+    return left.filter(lambda row: id(row) not in blocked)
 
 
 def table_left_join(left: BindingTable, right: BindingTable) -> BindingTable:
@@ -117,10 +132,10 @@ def table_left_join(left: BindingTable, right: BindingTable) -> BindingTable:
     joined: List[Binding] = []
     matched = set()
     for left_row, right_row in _join_pairs(left, right):
-        matched.add(left_row)
+        matched.add(id(left_row))
         joined.append(left_row.merge(right_row))
     for row in left:
-        if row not in matched:
+        if id(row) not in matched:
             joined.append(row)
     return BindingTable(columns, joined)
 

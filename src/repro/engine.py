@@ -235,6 +235,7 @@ class GCoreEngine:
         self,
         text_or_statement: Union[str, ast.Statement],
         params: Optional[dict] = None,
+        naive: bool = False,
     ) -> QueryResult:
         """Execute one G-CORE statement and return its result.
 
@@ -243,9 +244,15 @@ class GCoreEngine:
         ``params`` supplies values for ``$name`` query parameters. Text
         input goes through the prepared-query cache: running the same
         query text again skips lexing, parsing and planning.
+        ``naive=True`` runs the syntax-order planner *and* the
+        row-at-a-time reference executor — the ablation baseline the
+        columnar pipeline is property-tested against (it bypasses the
+        prepared-query cache).
         """
         if isinstance(text_or_statement, (ast.Query, ast.GraphViewStmt)):
-            return self._execute(text_or_statement, params)
+            return self._execute(text_or_statement, params, naive=naive)
+        if naive:
+            return self._execute(self.parse(str(text_or_statement)), params, naive=True)
         prepared = self.prepare(str(text_or_statement))
         return prepared.run(params)
 
@@ -254,10 +261,12 @@ class GCoreEngine:
         statement: ast.Statement,
         params: Optional[dict] = None,
         plans: Optional[PlanCache] = None,
+        naive: bool = False,
     ) -> QueryResult:
         ctx = EvalContext(self.catalog, self._ids)
         if params:
             ctx.params = dict(params)
+        ctx.naive_planner = naive
         ctx.plan_cache = plans
         result = evaluate_statement(statement, ctx)
         if isinstance(result, ViewResult):
@@ -302,16 +311,19 @@ class GCoreEngine:
     # ------------------------------------------------------------------
     # Introspection helpers
     # ------------------------------------------------------------------
-    def bindings(self, match_text: str) -> BindingTable:
+    def bindings(self, match_text: str, naive: bool = False) -> BindingTable:
         """Evaluate a standalone ``MATCH ...`` fragment to a binding table.
 
         This mirrors the binding tables the paper prints in Section 3 and
         is used heavily by the reproduction tests and benchmarks.
+        ``naive=True`` selects the syntax-order planner and row-at-a-time
+        reference executor (the columnar pipeline's oracle).
         """
         parser = Parser(tokenize(match_text))
         match = parser._match_clause()
         parser.expect_eof()
         ctx = EvalContext(self.catalog, self._ids)
+        ctx.naive_planner = naive
         return evaluate_match(match, ctx)
 
     def explain(self, text: str) -> str:

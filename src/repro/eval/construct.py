@@ -33,7 +33,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from ..algebra.binding import Binding, BindingTable
+from ..algebra.binding import ABSENT, Binding, BindingTable
 from ..algebra.grouping import MISSING
 from ..errors import EvaluationError, SemanticError
 from ..lang import ast
@@ -103,29 +103,58 @@ def _flatten_labels(labels: Tuple[Tuple[str, ...], ...]) -> List[str]:
     return [label for group in labels for label in group]
 
 
-def _group_rows(
+def _group_indices(
     table: BindingTable,
     exprs: Sequence[ast.Expr],
     ev: ExpressionEvaluator,
-) -> List[Tuple[Tuple[Any, ...], List[Binding]]]:
-    """Group rows by the values of *exprs* (MISSING for unbound vars)."""
-    groups: Dict[Tuple[Any, ...], List[Binding]] = {}
-    for row in table:
-        key = _group_key(row, exprs, ev)
-        groups.setdefault(key, []).append(row)
+) -> List[Tuple[Tuple[Any, ...], List[int]]]:
+    """Group row indices by the values of *exprs* (MISSING for unbound).
+
+    The columnar counterpart of per-row :func:`_group_key`: plain
+    variables read their vector directly, other expressions evaluate
+    against the lazily-materialized row views.
+    """
+    nrows = len(table)
+    key_columns: List[List[Any]] = []
+    for expr in exprs:
+        if isinstance(expr, ast.Var):
+            vector = table.column_values(expr.name)
+            if vector is None:
+                key_columns.append([MISSING] * nrows)
+            else:
+                key_columns.append(
+                    [MISSING if v is ABSENT else v for v in vector]
+                )
+        else:
+            key_columns.append(
+                [ev.evaluate(expr, row) for row in table.rows]
+            )
+    groups: Dict[Tuple[Any, ...], List[int]] = {}
+    for index in range(nrows):
+        key = tuple(column[index] for column in key_columns)
+        groups.setdefault(key, []).append(index)
     return sorted(groups.items(), key=lambda item: tuple(map(_token, item[0])))
 
 
-def _group_key(
-    row: Binding, exprs: Sequence[ast.Expr], ev: ExpressionEvaluator
-) -> Tuple[Any, ...]:
-    key: List[Any] = []
-    for expr in exprs:
-        if isinstance(expr, ast.Var):
-            key.append(row[expr.name] if expr.name in row else MISSING)
-        else:
-            key.append(ev.evaluate(expr, row))
-    return tuple(key)
+def _gather_with_var(
+    table: BindingTable,
+    var: str,
+    indices: List[int],
+    values: List[Any],
+) -> BindingTable:
+    """Rows of *table* at *indices* (in that order) with *var* set to the
+    parallel *values* vector; deduplicates, like the row-based rebuild."""
+    variables = list(table.variables)
+    data = {
+        v: [table.column_values(v)[i] for i in indices] for v in variables
+    }
+    if var not in data:
+        variables.append(var)
+    data[var] = values
+    columns = tuple(table.columns) + (var,)
+    return BindingTable.from_columns(
+        columns, variables, data, len(indices), dedup=True
+    )
 
 
 def _token(value: Any) -> str:
@@ -139,9 +168,6 @@ class _ElementRecord:
         self.var = var
         self.gamma = gamma
         self.id_by_key: Dict[Tuple[Any, ...], ObjectId] = {}
-
-    def id_for_row(self, row: Binding, ev: ExpressionEvaluator) -> Optional[ObjectId]:
-        return self.id_by_key.get(_group_key(row, self.gamma, ev))
 
 
 def evaluate_construct(
@@ -215,35 +241,58 @@ def _evaluate_item(
     for position, var in enumerate(node_vars_in_order):
         patterns = node_patterns[var]
         primary = patterns[0]
+        existing = table.column_values(var)
         if var in shared_records and var not in declared:
             # The variable was grouped by an earlier construct item; reuse
-            # its identities so the items connect (Section 3).
+            # its identities so the items connect (Section 3). Row order
+            # is preserved — identities are filled into the var column.
             record = shared_records[var]
-            extended_rows = []
-            for row in table:
-                obj = record.id_for_row(row, ev)
+            vector = (
+                list(existing) if existing is not None else [ABSENT] * len(table)
+            )
+            for key, indices in _group_indices(table, record.gamma, ev):
+                obj = record.id_by_key.get(key)
                 if obj is None:
-                    extended_rows.append(row)
                     continue
                 piece.nodes.add(obj)
                 piece.add_labels(obj, ctx.lookup_labels(obj))
                 piece.add_props(obj, ctx.lookup_properties(obj))
-                if var not in row:
-                    extended_rows.append(row.extend(var, obj))
-                else:
-                    extended_rows.append(row)
+                for index in indices:
+                    if vector[index] is ABSENT:
+                        vector[index] = obj
             node_records[var] = record
-            table = BindingTable(tuple(table.columns) + (var,), extended_rows)
+            table = _gather_with_var(table, var, list(range(len(table))), vector)
             continue
         gamma = _node_gamma(var, primary, table, declared)
         record = _ElementRecord(None if var.startswith("#cnode") else var, gamma)
         site = ("node", item_index, position)
-        extended_rows: List[Binding] = []
-        for key, rows in _group_rows(table, gamma, ev):
-            group = BindingTable(table.columns, rows)
-            obj = _node_identity(var, primary, key, gamma, site, ctx, declared, ev, rows[0])
+        # The rebuilt table concatenates the groups in sorted-key order
+        # (matching the row-based rebuild, which drove skolem generation).
+        ordered_indices: List[int] = []
+        values: List[Any] = []
+        # Group rows and representative bindings are only materialized
+        # when some expression will read them (copies, property
+        # assignments, SET clauses with expressions); plain identity and
+        # label constructs stay purely columnar.
+        sets = sets_by_var.get(var, ())
+        removes = removes_by_var.get(var, ())
+        needs_rows = (
+            primary.copy_of is not None
+            or any(p.assignments for p in patterns)
+            or any(assign.label is None for assign in sets)
+        )
+        for key, indices in _group_indices(table, gamma, ev):
+            # row_at first: materializing the parent's views lets
+            # select_rows hand the group the shared views.
+            representative = table.row_at(indices[0]) if needs_rows else None
+            group = table.select_rows(indices) if needs_rows else None
+            obj = _node_identity(var, primary, key, gamma, site, ctx, declared)
             if obj is None:
-                extended_rows.extend(rows)
+                ordered_indices.extend(indices)
+                values.extend(
+                    existing[i] if existing is not None else ABSENT
+                    for i in indices
+                )
                 continue
             record.id_by_key[key] = obj
             labels, props = _element_labels_props(
@@ -251,13 +300,13 @@ def _evaluate_item(
                 patterns,
                 var,
                 primary.copy_of,
-                rows[0],
+                representative,
                 group,
                 maxdom,
                 ctx,
                 ev,
-                sets_by_var.get(var, ()),
-                removes_by_var.get(var, ()),
+                sets,
+                removes,
                 bound=(var in declared),
             )
             piece.nodes.add(obj)
@@ -265,15 +314,14 @@ def _evaluate_item(
             piece.add_props(obj, props)
             ctx.overlay_labels[obj] = frozenset(labels)
             ctx.overlay_props[obj] = dict(props)
-            for row in rows:
-                if var not in row:
-                    extended_rows.append(row.extend(var, obj))
-                else:
-                    extended_rows.append(row)
+            for index in indices:
+                ordered_indices.append(index)
+                current = existing[index] if existing is not None else ABSENT
+                values.append(current if current is not ABSENT else obj)
         node_records[var] = record
         if var not in declared and not var.startswith("#cnode"):
             shared_records[var] = record
-        table = BindingTable(tuple(table.columns) + (var,), extended_rows)
+        table = _gather_with_var(table, var, ordered_indices, values)
 
     # ---------------- Phase 2: edge and path constructs -----------------
     edge_records: List[Tuple[_ElementRecord, ast.EdgePattern]] = []
@@ -323,19 +371,21 @@ def _evaluate_item(
 
     # ---------------- Phase 3: WHEN filtering ---------------------------
     if item.when is not None:
+        rows = table.rows
+        surviving = {
+            index
+            for index in range(len(table))
+            if ev.evaluate_predicate(item.when, rows[index])
+        }
         survivors: Set[ObjectId] = set()
-        surviving_rows = [
-            row for row in table if ev.evaluate_predicate(item.when, row)
-        ]
-        for record in node_records.values():
-            for row in surviving_rows:
-                obj = record.id_for_row(row, ev)
-                if obj is not None:
-                    survivors.add(obj)
-        for record, _ in edge_records:
-            for row in surviving_rows:
-                obj = record.id_for_row(row, ev)
-                if obj is not None:
+        all_records = list(node_records.values())
+        all_records.extend(record for record, _ in edge_records)
+        for record in all_records:
+            # An element survives when any row of its Γ-group does; the
+            # group keys are recomputed columnar-ly, not per row.
+            for key, indices in _group_indices(table, record.gamma, ev):
+                obj = record.id_by_key.get(key)
+                if obj is not None and not surviving.isdisjoint(indices):
                     survivors.add(obj)
         constructed = piece.nodes | set(piece.edges) | set(piece.paths)
         piece.discard(constructed - survivors)
@@ -384,11 +434,11 @@ def _node_identity(
     site: Tuple[Any, ...],
     ctx: EvalContext,
     declared: FrozenSet[str],
-    ev: ExpressionEvaluator,
-    representative: Binding,
 ) -> Optional[ObjectId]:
     if var in declared:
-        value = representative.get(var, MISSING)
+        # A declared variable's Γ is exactly (Var(var),), so the bound
+        # identity is the group key itself.
+        value = key[0]
         if value is MISSING:
             return None  # the formal semantics contributes the empty graph
         if isinstance(value, (Walk, AllPathsHandle)):
@@ -406,8 +456,8 @@ def _element_labels_props(
     patterns: Sequence[Any],
     var: str,
     copy_of: Optional[str],
-    representative: Binding,
-    group: BindingTable,
+    representative: Optional[Binding],
+    group: Optional[BindingTable],
     maxdom: FrozenSet[str],
     ctx: EvalContext,
     ev: ExpressionEvaluator,
@@ -415,7 +465,12 @@ def _element_labels_props(
     removes: Sequence[ast.RemoveAssign],
     bound: bool,
 ) -> Tuple[Set[str], Dict[str, ValueSet]]:
-    """Labels and properties of a constructed element (lambda_S / sigma_S)."""
+    """Labels and properties of a constructed element (lambda_S / sigma_S).
+
+    *representative* and *group* may be None when the caller has proved
+    no expression will be evaluated (no copies, no property assignments,
+    no SET clauses with expressions) — the purely columnar fast path.
+    """
     labels: Set[str] = set()
     props: Dict[str, ValueSet] = {}
     if bound:
@@ -458,14 +513,16 @@ def _to_value_set(value: Any) -> ValueSet:
 def _extend_with_record(
     table: BindingTable, var: str, record: _ElementRecord, ev: ExpressionEvaluator
 ) -> BindingTable:
-    rows: List[Binding] = []
-    for row in table:
-        if var in row:
-            rows.append(row)
+    existing = table.column_values(var)
+    vector = list(existing) if existing is not None else [ABSENT] * len(table)
+    for key, indices in _group_indices(table, record.gamma, ev):
+        obj = record.id_by_key.get(key)
+        if obj is None:
             continue
-        obj = record.id_for_row(row, ev)
-        rows.append(row.extend(var, obj) if obj is not None else row)
-    return BindingTable(tuple(table.columns) + (var,), rows)
+        for index in indices:
+            if vector[index] is ABSENT:
+                vector[index] = obj
+    return _gather_with_var(table, var, list(range(len(table))), vector)
 
 
 # ---------------------------------------------------------------------------
@@ -503,14 +560,22 @@ def _construct_edge(
         gamma.extend(pattern.group)
     record = _ElementRecord(var, tuple(gamma))
     site = ("edge", item_index, conn_index)
-    for key, rows in _group_rows(table, gamma, ev):
-        representative = rows[0]
-        source = representative.get(from_var, MISSING)
-        target = representative.get(to_var, MISSING)
+    sets = sets_by_var.get(var, ()) if var else ()
+    removes = removes_by_var.get(var, ()) if var else ()
+    needs_rows = (
+        pattern.copy_of is not None
+        or bool(pattern.assignments)
+        or any(assign.label is None for assign in sets)
+    )
+    for key, indices in _group_indices(table, gamma, ev):
+        # Γ starts (from_var, to_var[, var]) — endpoints and a bound edge
+        # identity are the leading key components, no row view needed.
+        source = key[0]
+        target = key[1]
         if source is MISSING or target is MISSING:
             continue  # dangling-edge prevention (A.3)
         if bound:
-            edge = representative.get(var, MISSING)
+            edge = key[2]
             if edge is MISSING:
                 continue
             if isinstance(edge, (Walk, AllPathsHandle)):
@@ -532,9 +597,8 @@ def _construct_edge(
         else:
             edge = ctx.ids.skolem("e", site, key)
         record.id_by_key[key] = edge
-        group = BindingTable(table.columns, rows)
-        sets = sets_by_var.get(var, ()) if var else ()
-        removes = removes_by_var.get(var, ()) if var else ()
+        representative = table.row_at(indices[0]) if needs_rows else None
+        group = table.select_rows(indices) if needs_rows else None
         labels, props = _element_labels_props(
             edge,
             [pattern],
@@ -595,12 +659,12 @@ def _construct_path(
     gamma = (ast.Var(var),)
     record = _ElementRecord(var, gamma)
     site = ("path", item_index, conn_index)
-    for key, rows in _group_rows(table, gamma, ev):
+    for key, indices in _group_indices(table, gamma, ev):
         (value,) = key
         if value is MISSING:
             continue
-        representative = rows[0]
-        group = BindingTable(table.columns, rows)
+        representative = table.row_at(indices[0])
+        group = table.select_rows(indices)
         if isinstance(value, AllPathsHandle):
             if pattern.stored:
                 raise SemanticError(

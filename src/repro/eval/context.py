@@ -79,6 +79,10 @@ class EvalContext:
         # False falls back to the constant-weight heuristic, which is the
         # other arm of the EXP-B1 ablation.
         self.use_cost_planner: bool = True
+        # Executor choice: True forces the columnar pipeline, False the
+        # row-at-a-time reference executor, None (default) derives it
+        # from the planner mode (naive planner -> reference executor).
+        self.columnar_executor: Optional[bool] = None
         # Memoized atom orderings, installed by PreparedQuery executions
         # (see repro.eval.planner.PlanCache); None = plan every block.
         self.plan_cache = None
@@ -104,6 +108,7 @@ class EvalContext:
         child.current_graph = self.current_graph
         child.naive_planner = self.naive_planner
         child.use_cost_planner = self.use_cost_planner
+        child.columnar_executor = self.columnar_executor
         child.plan_cache = self.plan_cache
         child.overlay_labels = self.overlay_labels
         child.overlay_props = self.overlay_props

@@ -25,7 +25,7 @@ import itertools
 from collections import defaultdict
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from ..algebra.binding import Binding, BindingTable
+from ..algebra.binding import ABSENT, Binding, BindingTable, EMPTY_BINDING
 from ..algebra.ops import table_left_join
 from ..errors import EvaluationError, SemanticError
 from ..lang import ast
@@ -91,6 +91,145 @@ def _satisfies_labels(
 
 
 # ---------------------------------------------------------------------------
+# Columnar expansion helpers
+# ---------------------------------------------------------------------------
+
+def _row_independent(expr: ast.Expr) -> bool:
+    """Conservatively: does *expr* evaluate the same for every row?
+
+    Only shapes that provably reference no binding are admitted (the
+    common ``{name='Wagner'}`` and ``{since=$year}`` property tests);
+    anything else stays on the per-row evaluation path.
+    """
+    if isinstance(expr, (ast.Literal, ast.Param)):
+        return True
+    if isinstance(expr, ast.Unary):
+        return _row_independent(expr.operand)
+    if isinstance(expr, ast.Binary):
+        return _row_independent(expr.left) and _row_independent(expr.right)
+    if isinstance(expr, ast.ListLiteral):
+        return all(_row_independent(item) for item in expr.items)
+    return False
+
+
+def _split_prop_tests(
+    tests: Tuple[Tuple[str, ast.Expr], ...], ev: ExpressionEvaluator
+) -> Tuple[List[Tuple[str, Any]], List[Tuple[str, ast.Expr]]]:
+    """Partition property tests into (key, pre-evaluated value) constants
+    and (key, expr) row-dependent tests.
+
+    A constant test that *raises* (e.g. a missing ``$param``) is kept on
+    the dynamic path instead: the reference executor only evaluates
+    tests once a candidate reaches them, so eager evaluation must never
+    introduce an error the row-at-a-time executor would not produce.
+    """
+    const: List[Tuple[str, Any]] = []
+    dynamic: List[Tuple[str, ast.Expr]] = []
+    for key, expr in tests:
+        if _row_independent(expr):
+            try:
+                const.append((key, ev.evaluate(expr, EMPTY_BINDING)))
+            except Exception:
+                dynamic.append((key, expr))
+        else:
+            dynamic.append((key, expr))
+    return const, dynamic
+
+
+def _property_value_ok(actual, expected) -> bool:
+    """One property test against an already-evaluated expected value."""
+    return gcore_equals(actual, expected) or (
+        not isinstance(expected, frozenset) and expected in actual
+    )
+
+
+def _const_tests_pass(
+    graph: PathPropertyGraph, obj: ObjectId, const: List[Tuple[str, Any]]
+) -> bool:
+    for key, expected in const:
+        if not _property_value_ok(graph.property(obj, key), expected):
+            return False
+    return True
+
+
+def _assemble(
+    table: BindingTable,
+    columns: Tuple[str, ...],
+    names: List[str],
+    out_index: List[int],
+    out_cols: Dict[str, List[Any]],
+) -> BindingTable:
+    """Build an extension result: gather the input columns through the
+    emitted row indices and splice in the freshly assigned vectors."""
+    in_vars = table.variables
+    name_set = set(names)
+    variables = list(in_vars)
+    data: Dict[str, List[Any]] = {}
+    for var in in_vars:
+        if var in name_set:
+            data[var] = out_cols[var]
+        else:
+            vector = table.column_values(var)
+            data[var] = [vector[i] for i in out_index]
+    for name in names:
+        if name not in data:
+            variables.append(name)
+            data[name] = out_cols[name]
+    return BindingTable.from_columns(
+        columns, variables, data, len(out_index), dedup=True
+    )
+
+
+class _BindUnroller:
+    """Columnar counterpart of :func:`_unroll_property_binds`.
+
+    Produces, for one graph object and one partial assignment dict, the
+    list of final assignment dicts after unrolling every multi-valued
+    property bind — memoizing the per-object sorted value lists.
+    """
+
+    def __init__(
+        self, graph: PathPropertyGraph, binds: Tuple[Tuple[str, str], ...]
+    ) -> None:
+        self._graph = graph
+        self._binds = binds
+        self._values: Dict[Tuple[ObjectId, str], List[Any]] = {}
+
+    def _sorted_values(self, obj: ObjectId, key: str) -> List[Any]:
+        memo_key = (obj, key)
+        values = self._values.get(memo_key)
+        if values is None:
+            values = sorted(
+                self._graph.property(obj, key),
+                key=lambda v: (str(type(v)), str(v)),
+            )
+            self._values[memo_key] = values
+        return values
+
+    def unroll(self, obj: ObjectId, assignment: Dict[str, Any]) -> List[Dict[str, Any]]:
+        if not self._binds:
+            return [assignment]
+        combos = [assignment]
+        for key, bind_var in self._binds:
+            values = self._sorted_values(obj, key)
+            next_combos: List[Dict[str, Any]] = []
+            for current in combos:
+                existing = current.get(bind_var, ABSENT)
+                if existing is not ABSENT:
+                    if existing in values:
+                        next_combos.append(current)
+                else:
+                    for value in values:
+                        extended = dict(current)
+                        extended[bind_var] = value
+                        next_combos.append(extended)
+            combos = next_combos
+            if not combos:
+                break
+        return combos
+
+
+# ---------------------------------------------------------------------------
 # Atoms
 # ---------------------------------------------------------------------------
 
@@ -144,6 +283,74 @@ class NodeAtom:
                 )
         columns = tuple(table.columns) + tuple(self.binds())
         return BindingTable(columns, out_rows)
+
+    def extend_columnar(
+        self,
+        table: BindingTable,
+        graph: PathPropertyGraph,
+        ev: ExpressionEvaluator,
+    ) -> BindingTable:
+        """Columnar expansion: candidates resolved once, output built as
+        vectors. Emission order matches :meth:`extend` exactly."""
+        pattern = self.pattern
+        var = self.var
+        const_tests, dyn_tests = _split_prop_tests(pattern.prop_tests, ev)
+        unroller = _BindUnroller(graph, pattern.prop_binds)
+        names = list(
+            dict.fromkeys([var, *(v for _, v in pattern.prop_binds)])
+        )
+        nrows = len(table)
+        name_vectors = {
+            name: table.column_values(name) for name in names
+        }
+        var_vector = name_vectors[var]
+        dyn_rows = table.rows if dyn_tests else None
+
+        candidate_cache: Optional[List[ObjectId]] = None
+        bound_ok: Dict[ObjectId, bool] = {}
+        out_index: List[int] = []
+        out_cols: Dict[str, List[Any]] = {name: [] for name in names}
+
+        for i in range(nrows):
+            bound = var_vector[i] if var_vector is not None else ABSENT
+            if bound is not ABSENT:
+                ok = bound_ok.get(bound)
+                if ok is None:
+                    ok = (
+                        bound in graph.nodes
+                        and _satisfies_labels(graph.labels(bound), pattern.labels)
+                        and _const_tests_pass(graph, bound, const_tests)
+                    )
+                    bound_ok[bound] = ok
+                candidates: Iterable[ObjectId] = (bound,) if ok else ()
+            else:
+                if candidate_cache is None:
+                    candidate_cache = [
+                        node
+                        for node in _label_candidates(
+                            graph.nodes, pattern.labels, graph.nodes_with_label
+                        )
+                        if _const_tests_pass(graph, node, const_tests)
+                    ]
+                candidates = candidate_cache
+            for node in candidates:
+                if dyn_tests and not _property_tests_pass(
+                    graph, node, tuple(dyn_tests), ev, dyn_rows[i]
+                ):
+                    continue
+                base = {name: ABSENT for name in names}
+                for name in names:
+                    vector = name_vectors[name]
+                    if vector is not None:
+                        base[name] = vector[i]
+                if base[var] is ABSENT:
+                    base[var] = node
+                for combo in unroller.unroll(node, base):
+                    out_index.append(i)
+                    for name in names:
+                        out_cols[name].append(combo[name])
+        columns = tuple(table.columns) + tuple(self.binds())
+        return _assemble(table, columns, names, out_index, out_cols)
 
 
 class EdgeAtom:
@@ -231,6 +438,115 @@ class EdgeAtom:
                     )
         columns = tuple(table.columns) + tuple(self.binds())
         return BindingTable(columns, out_rows)
+
+    def extend_columnar(
+        self,
+        table: BindingTable,
+        graph: PathPropertyGraph,
+        ev: ExpressionEvaluator,
+    ) -> BindingTable:
+        """Hash-join expansion against label-bucketed adjacency lists.
+
+        Bound endpoints probe the graph's per-label adjacency indexes
+        (build side) instead of re-sorting and re-filtering the raw edge
+        lists per row; per-edge admissibility (labels + constant property
+        tests) is memoized across rows. Emission order matches
+        :meth:`extend` exactly, so both executors produce identical
+        tables — rows included, order included.
+        """
+        pattern = self.pattern
+        var = self.var
+        const_tests, dyn_tests = _split_prop_tests(pattern.prop_tests, ev)
+        unroller = _BindUnroller(graph, pattern.prop_binds)
+        names = list(
+            dict.fromkeys(
+                [
+                    self.src_var,
+                    self.dst_var,
+                    *((var,) if var else ()),
+                    *(v for _, v in pattern.prop_binds),
+                ]
+            )
+        )
+        nrows = len(table)
+        name_vectors = {name: table.column_values(name) for name in names}
+        var_vector = name_vectors.get(var) if var else None
+        dyn_rows = table.rows if dyn_tests else None
+
+        # Adjacency build side: bucket by the first single-label group if
+        # there is one (the common case); residual label groups and
+        # constant property tests are folded into the memoized per-edge
+        # admissibility check.
+        labels = pattern.labels
+        bucket = labels[0][0] if labels and len(labels[0]) == 1 else None
+        out_adj = graph.out_adjacency(bucket)
+        in_adj = graph.in_adjacency(bucket)
+        edge_ok: Dict[ObjectId, bool] = {}
+        rho = graph.endpoints
+        scan_cache: Optional[List[ObjectId]] = None
+        orientations = self._orientations()
+
+        out_index: List[int] = []
+        out_cols: Dict[str, List[Any]] = {name: [] for name in names}
+
+        for i in range(nrows):
+            for from_var, to_var in orientations:
+                from_vec = name_vectors[from_var]
+                to_vec = name_vectors[to_var]
+                fv = from_vec[i] if from_vec is not None else ABSENT
+                tv = to_vec[i] if to_vec is not None else ABSENT
+                bound_edge = var_vector[i] if var_vector is not None else ABSENT
+                if bound_edge is not ABSENT:
+                    candidates: Iterable[ObjectId] = (bound_edge,)
+                elif fv is not ABSENT:
+                    candidates = out_adj.get(fv, ())
+                elif tv is not ABSENT:
+                    candidates = in_adj.get(tv, ())
+                else:
+                    if scan_cache is None:
+                        scan_cache = _label_candidates(
+                            graph.edges, labels, graph.edges_with_label
+                        )
+                    candidates = scan_cache
+                for edge in candidates:
+                    ok = edge_ok.get(edge)
+                    if ok is None:
+                        ok = (
+                            edge in graph.edges
+                            and _satisfies_labels(graph.labels(edge), labels)
+                            and _const_tests_pass(graph, edge, const_tests)
+                        )
+                        edge_ok[edge] = ok
+                    if not ok:
+                        continue
+                    src, dst = rho(edge)
+                    if fv is not ABSENT and fv != src:
+                        continue
+                    if tv is not ABSENT and tv != dst:
+                        continue
+                    if dyn_tests and not _property_tests_pass(
+                        graph, edge, tuple(dyn_tests), ev, dyn_rows[i]
+                    ):
+                        continue
+                    base = {}
+                    for name in names:
+                        vector = name_vectors[name]
+                        base[name] = vector[i] if vector is not None else ABSENT
+                    # Mirror the reference's sequential extends (guarded
+                    # so an already-assigned name, e.g. a self-loop's
+                    # shared endpoint variable, is never overwritten).
+                    if base[from_var] is ABSENT:
+                        base[from_var] = src
+                    if base[to_var] is ABSENT:
+                        base[to_var] = dst
+                    if var and base[var] is ABSENT:
+                        base[var] = edge
+                    for combo in unroller.unroll(edge, base):
+                        out_index.append(i)
+                        for name in names:
+                            out_cols[name].append(combo[name])
+        columns = tuple(table.columns) + tuple(self.binds())
+        return _assemble(table, columns, names, out_index, out_cols)
 
 
 class PathAtom:
@@ -604,6 +920,12 @@ def evaluate_block(
     ev = ExpressionEvaluator(ctx)
     primary_graph: Optional[PathPropertyGraph] = None
     block_default = _block_default_graph(block, ctx)
+    columnar = ctx.columnar_executor
+    if columnar is None:
+        # The row-at-a-time reference executor rides with the naive
+        # planner ablation (``naive=True``); every planned mode runs the
+        # columnar pipeline.
+        columnar = not ctx.naive_planner
     for location in block.patterns:
         graph = _resolve_location(location, ctx, block_default)
         if primary_graph is None:
@@ -615,6 +937,8 @@ def evaluate_block(
         for atom in ordered:
             if isinstance(atom, PathAtom):
                 table = atom.extend(table, graph, ev, ctx)
+            elif columnar:
+                table = atom.extend_columnar(table, graph, ev)
             else:
                 table = atom.extend(table, graph, ev)
             if not table:

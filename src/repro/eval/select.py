@@ -9,9 +9,9 @@ items (with an implicit single group when no GROUP BY is given).
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
-from ..algebra.binding import Binding, BindingTable
+from ..algebra.binding import ABSENT, Binding, BindingTable
 from ..lang import ast
 from ..lang.pretty import pretty_expr
 from ..table import Table
@@ -80,11 +80,21 @@ def evaluate_select(
             )
             raw_rows.append((representative, cells))
     else:
-        for row in omega:
-            cells = tuple(
-                _normalize(ev.evaluate(item.expr, row)) for item in select.items
-            )
-            raw_rows.append((row, cells))
+        # Batch projection: plain-variable items read their column
+        # vector directly; everything else evaluates per row.
+        rows = omega.rows
+        cell_columns: List[List[Any]] = []
+        for item in select.items:
+            vector = _column_fast_path(omega, item.expr)
+            if vector is None:
+                vector = [
+                    _normalize(ev.evaluate(item.expr, row)) for row in rows
+                ]
+            cell_columns.append(vector)
+        raw_rows = [
+            (rows[i], tuple(column[i] for column in cell_columns))
+            for i in range(len(rows))
+        ]
 
     if select.distinct:
         seen = set()
@@ -138,6 +148,23 @@ def _order_value(
     return _normalize(value)
 
 
+def _column_fast_path(
+    omega: BindingTable, expr: ast.Expr
+) -> Optional[List[Any]]:
+    """The normalized value vector of a plain, fully-bound variable.
+
+    Returns None when *expr* is not a variable or the variable is absent
+    in some row — those cases keep the per-row evaluation path (and its
+    error behaviour for unbound variables).
+    """
+    if not isinstance(expr, ast.Var):
+        return None
+    vector = omega.column_values(expr.name)
+    if vector is None or any(value is ABSENT for value in vector):
+        return None
+    return [_normalize(value) for value in vector]
+
+
 def _group(
     omega: BindingTable,
     group_by: Tuple[ast.Expr, ...],
@@ -145,19 +172,29 @@ def _group(
 ) -> List[Tuple[Binding, BindingTable]]:
     """Partition *omega* by GROUP BY keys (single group when absent)."""
     if not group_by:
-        representative = omega.rows[0] if omega.rows else Binding()
+        representative = omega.rows[0] if len(omega) else Binding()
         return [(representative, omega)]
-    groups = {}
+    key_columns: List[List[str]] = []
+    for expr in group_by:
+        vector = _column_fast_path(omega, expr)
+        if vector is not None:
+            key_columns.append([_sort_token(value) for value in vector])
+        else:
+            key_columns.append(
+                [
+                    _sort_token(_normalize(ev.evaluate(expr, row)))
+                    for row in omega.rows
+                ]
+            )
+    groups: dict = {}
     order: List[Tuple[Any, ...]] = []
-    for row in omega:
-        key = tuple(
-            _sort_token(_normalize(ev.evaluate(expr, row))) for expr in group_by
-        )
+    for index in range(len(omega)):
+        key = tuple(column[index] for column in key_columns)
         if key not in groups:
             groups[key] = []
             order.append(key)
-        groups[key].append(row)
+        groups[key].append(index)
     return [
-        (groups[key][0], BindingTable(omega.columns, groups[key]))
+        (omega.row_at(groups[key][0]), omega.select_rows(groups[key]))
         for key in sorted(order)
     ]

@@ -76,6 +76,7 @@ class PathPropertyGraph:
         "_node_label_index",
         "_edge_label_index",
         "_path_label_index",
+        "_adjacency_cache",
         "_statistics",
     )
 
@@ -101,11 +102,11 @@ class PathPropertyGraph:
         }
         self._props: Dict[ObjectId, Dict[str, ValueSet]] = {}
         for obj, mapping in (properties or {}).items():
-            normalized = {
-                key: as_value_set(value)
-                for key, value in mapping.items()
-                if as_value_set(value)
-            }
+            normalized = {}
+            for key, value in mapping.items():
+                value_set = as_value_set(value)
+                if value_set:
+                    normalized[key] = value_set
             if normalized:
                 self._props[obj] = normalized
         self._name = name
@@ -114,9 +115,49 @@ class PathPropertyGraph:
         self._node_label_index: Optional[Dict[str, FrozenSet[ObjectId]]] = None
         self._edge_label_index: Optional[Dict[str, FrozenSet[ObjectId]]] = None
         self._path_label_index: Optional[Dict[str, FrozenSet[ObjectId]]] = None
+        self._adjacency_cache: Dict[
+            Tuple[str, Optional[str]], Dict[ObjectId, Tuple[ObjectId, ...]]
+        ] = {}
         self._statistics = None
         if validate:
             self._check_invariants()
+
+    @classmethod
+    def _assemble_normalized(
+        cls,
+        nodes: FrozenSet[ObjectId],
+        edges: Dict[ObjectId, Tuple[ObjectId, ObjectId]],
+        paths: Dict[ObjectId, Tuple[ObjectId, ...]],
+        labels: Dict[ObjectId, FrozenSet[str]],
+        props: Dict[ObjectId, Dict[str, ValueSet]],
+        name: str = "",
+    ) -> "PathPropertyGraph":
+        """Assemble a graph from already-normalized, already-valid parts.
+
+        Used by the set operations in :mod:`repro.model.setops`, whose
+        inputs are existing (hence valid) graphs: unions/intersections/
+        differences of valid graphs cannot violate Definition 2.1, and
+        their label/property stores are already frozensets — skipping
+        re-validation and re-normalization keeps CONSTRUCT's output
+        assembly off the hot path. The argument dicts are adopted.
+        """
+        graph = cls.__new__(cls)
+        graph._nodes = frozenset(nodes)
+        graph._rho = edges
+        graph._edges = frozenset(edges)
+        graph._delta = paths
+        graph._paths = frozenset(paths)
+        graph._labels = {obj: lbls for obj, lbls in labels.items() if lbls}
+        graph._props = props
+        graph._name = name
+        graph._out_index = None
+        graph._in_index = None
+        graph._node_label_index = None
+        graph._edge_label_index = None
+        graph._path_label_index = None
+        graph._adjacency_cache = {}
+        graph._statistics = None
+        return graph
 
     # ------------------------------------------------------------------
     # Invariants (Definition 2.1)
@@ -291,6 +332,50 @@ class PathPropertyGraph:
     def degree(self, node: ObjectId) -> int:
         """Total degree (in + out) of *node*."""
         return len(self.out_edges(node)) + len(self.in_edges(node))
+
+    def out_adjacency(
+        self, label: Optional[str] = None
+    ) -> Dict[ObjectId, Tuple[ObjectId, ...]]:
+        """Label-bucketed forward adjacency: ``{node: (edges...)}``.
+
+        With a *label*, only edges carrying it appear; with None, all
+        edges. Edge lists are sorted by identifier string, so columnar
+        expansion emits candidates in the same deterministic order the
+        row-at-a-time reference executor produces via per-row sorting.
+        Buckets are built lazily once per (direction, label) and cached —
+        the graph is immutable. Nodes without matching edges are omitted
+        (probe with ``.get(node, ())``).
+        """
+        return self._adjacency(True, label)
+
+    def in_adjacency(
+        self, label: Optional[str] = None
+    ) -> Dict[ObjectId, Tuple[ObjectId, ...]]:
+        """Label-bucketed reverse adjacency: ``{node: (edges...)}``."""
+        return self._adjacency(False, label)
+
+    def _adjacency(
+        self, forward: bool, label: Optional[str]
+    ) -> Dict[ObjectId, Tuple[ObjectId, ...]]:
+        key = ("out" if forward else "in", label)
+        cached = self._adjacency_cache.get(key)
+        if cached is not None:
+            return cached
+        if label is None:
+            edges: Iterable[ObjectId] = self._edges
+        else:
+            edges = self.edges_with_label(label)
+        buckets: Dict[ObjectId, List[ObjectId]] = {}
+        for edge in edges:
+            src, dst = self._rho[edge]
+            endpoint = src if forward else dst
+            buckets.setdefault(endpoint, []).append(edge)
+        index = {
+            node: tuple(sorted(bucket, key=str))
+            for node, bucket in buckets.items()
+        }
+        self._adjacency_cache[key] = index
+        return index
 
     def _build_label_indexes(self) -> None:
         node_idx: Dict[str, set] = {}

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from ..errors import GraphModelError
 from .graph import ObjectId, PathPropertyGraph, path_edges, path_nodes
 
 __all__ = ["graph_union", "graph_intersect", "graph_difference", "empty_graph"]
@@ -22,36 +23,62 @@ def empty_graph(name: str = "") -> PathPropertyGraph:
     return PathPropertyGraph(name=name)
 
 
+def _is_bare_empty(graph: PathPropertyGraph) -> bool:
+    return graph.is_empty() and not graph.paths
+
+
 def graph_union(
     left: PathPropertyGraph, right: PathPropertyGraph
 ) -> PathPropertyGraph:
     """``G1 UNION G2`` per A.5: union of components, labels and properties.
 
     Shared identifiers merge their label sets and property value sets.
-    Returns the empty graph when the operands are inconsistent.
+    Returns the empty graph when the operands are inconsistent. Unions
+    with an empty operand (every CONSTRUCT starts from one) short-circuit
+    to the other operand; the general case merges the internal stores and
+    assembles the result without re-validation — both operands are valid
+    graphs, and a consistent union of valid graphs is valid.
     """
+    if _is_bare_empty(left):
+        return right if not right.name else right.with_name("")
+    if _is_bare_empty(right):
+        return left if not left.name else left.with_name("")
     if not left.consistent_with(right):
         return empty_graph()
-    edges: Dict[ObjectId, tuple] = dict(left.rho)
-    edges.update(right.rho)
-    paths: Dict[ObjectId, tuple] = dict(left.delta)
-    paths.update(right.delta)
-    labels: Dict[ObjectId, frozenset] = {}
-    props: Dict[ObjectId, Dict[str, frozenset]] = {}
-    for graph in (left, right):
-        for obj in graph.objects():
-            obj_labels = graph.labels(obj)
-            if obj_labels:
-                labels[obj] = labels.get(obj, frozenset()) | obj_labels
-            for key, values in graph.properties(obj).items():
-                store = props.setdefault(obj, {})
-                store[key] = store.get(key, frozenset()) | values
-    return PathPropertyGraph(
-        nodes=left.nodes | right.nodes,
-        edges=edges,
-        paths=paths,
-        labels=labels,
-        properties=props,
+    # Definition 2.1 disjointness across the operands (consistency only
+    # covers shared edges/paths agreeing): an identifier must not be a
+    # node in one operand and an edge/path in the other, or the union's
+    # identifier sets would overlap. The validating constructor used to
+    # catch this; the assembling path checks it explicitly.
+    if (
+        left.nodes & (right.edges | right.paths)
+        or left.edges & (right.nodes | right.paths)
+        or left.paths & (right.nodes | right.edges)
+    ):
+        raise GraphModelError(
+            "node/edge/path identifier sets must be disjoint"
+        )
+    edges: Dict[ObjectId, tuple] = dict(left._rho)
+    edges.update(right._rho)
+    paths: Dict[ObjectId, tuple] = dict(left._delta)
+    paths.update(right._delta)
+    labels: Dict[ObjectId, frozenset] = dict(left._labels)
+    for obj, obj_labels in right._labels.items():
+        current = labels.get(obj)
+        labels[obj] = obj_labels if current is None else current | obj_labels
+    props: Dict[ObjectId, Dict[str, frozenset]] = {
+        obj: dict(mapping) for obj, mapping in left._props.items()
+    }
+    for obj, mapping in right._props.items():
+        store = props.get(obj)
+        if store is None:
+            props[obj] = dict(mapping)
+        else:
+            for key, values in mapping.items():
+                current = store.get(key)
+                store[key] = values if current is None else current | values
+    return PathPropertyGraph._assemble_normalized(
+        left.nodes | right.nodes, edges, paths, labels, props
     )
 
 
@@ -81,8 +108,8 @@ def graph_intersect(
             values = left_props[key] & right_props[key]
             if values:
                 props.setdefault(obj, {})[key] = values
-    return PathPropertyGraph(
-        nodes=nodes, edges=edges, paths=paths, labels=labels, properties=props
+    return PathPropertyGraph._assemble_normalized(
+        nodes, edges, paths, labels, props
     )
 
 
@@ -115,6 +142,6 @@ def graph_difference(
     props = {
         obj: left.properties(obj) for obj in survivors if left.properties(obj)
     }
-    return PathPropertyGraph(
-        nodes=nodes, edges=edges, paths=paths, labels=labels, properties=props
+    return PathPropertyGraph._assemble_normalized(
+        nodes, edges, paths, labels, props
     )

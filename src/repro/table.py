@@ -49,8 +49,15 @@ class Table:
         columns: Optional[Sequence[str]] = None,
         name: str = "",
     ) -> "Table":
-        """Build a table from dict records; columns default to first-seen order."""
-        records = list(records)
+        """Build a table from dict records; columns default to first-seen order.
+
+        Column inference is a full scan over *records* — the union of all
+        keys, in first-appearance order — never just the first record, so
+        an empty or partial leading record cannot silently drop columns
+        that later records introduce. Cells a record does not mention are
+        None.
+        """
+        records = list(records)  # tolerate one-shot iterators: two passes
         if columns is None:
             seen: Dict[str, None] = {}
             for record in records:

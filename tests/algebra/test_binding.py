@@ -1,7 +1,9 @@
 """Unit tests for bindings and binding tables (Appendix A.1)."""
 
 
-from repro.algebra.binding import EMPTY_BINDING, Binding, BindingTable
+from repro.algebra.binding import ABSENT, EMPTY_BINDING, Binding, BindingTable
+from repro.algebra.grouping import MISSING, group_by
+from repro.algebra.ops import table_join, table_left_join, table_union
 
 
 class TestBinding:
@@ -114,3 +116,152 @@ class TestBindingTable:
             ["e"], [Binding({"e": frozenset({"CWI", "MIT"})})]
         )
         assert '{"CWI", "MIT"}' in table.pretty()
+
+
+class TestColumnarStorage:
+    """The columnar layout under the set-of-bindings surface."""
+
+    def test_absent_masks_partial_rows(self):
+        table = BindingTable(
+            ["x", "y"], [Binding({"x": 1}), Binding({"x": 2, "y": 3})]
+        )
+        assert table.column_values("x") == [1, 2]
+        assert table.column_values("y") == [ABSENT, 3]
+        assert table.present_count("y") == 1
+        assert table.column_values("z") is None
+
+    def test_rows_outside_declared_columns_are_stored(self):
+        table = BindingTable(["x"], [Binding({"x": 1, "extra": 9})])
+        assert table.columns == ("x",)
+        assert table.variables == ("x", "extra")
+        assert table.rows[0]["extra"] == 9
+
+    def test_dedup_distinguishes_domain_from_value(self):
+        # {x=1} and {x=1, y=...} have different domains: both survive.
+        table = BindingTable(
+            ["x", "y"],
+            [Binding({"x": 1}), Binding({"x": 1, "y": 2}), Binding({"x": 1})],
+        )
+        assert len(table) == 2
+
+    def test_from_columns_dedups_first_wins(self):
+        table = BindingTable.from_columns(
+            ("x", "y"),
+            ("x", "y"),
+            {"x": [1, 1, 2], "y": [ABSENT, ABSENT, 5]},
+            3,
+        )
+        assert len(table) == 2
+        assert table.rows[0] == Binding({"x": 1})
+        assert table.rows[1] == Binding({"x": 2, "y": 5})
+
+    def test_select_rows_preserves_order_and_masks(self):
+        table = BindingTable(
+            ["x", "y"],
+            [Binding({"x": i}) if i % 2 else Binding({"x": i, "y": i * 10})
+             for i in range(4)],
+        )
+        picked = table.select_rows([3, 0])
+        assert [row.get("x") for row in picked] == [3, 0]
+        assert picked.column_values("y") == [ABSENT, 0]
+
+    def test_row_views_are_cached(self):
+        table = BindingTable(["x"], [Binding({"x": 1})])
+        assert table.rows[0] is table.rows[0]
+
+
+class TestOptionalMasksAtColumnarBoundaries:
+    """OPTIONAL partiality (missing-variable masks) must survive the
+    columnar operators: join, union and grouping treat an ABSENT cell as
+    'variable outside the domain', never as a value."""
+
+    def test_masks_through_left_join(self):
+        # The OPTIONAL operator: an unmatched left row keeps its mask.
+        left = BindingTable(
+            ["x"], [Binding({"x": 1}), Binding({"x": 2})]
+        )
+        right = BindingTable(
+            ["x", "y"], [Binding({"x": 1, "y": "hit"})]
+        )
+        joined = table_left_join(left, right)
+        assert len(joined) == 2
+        by_x = {row["x"]: row for row in joined}
+        assert by_x[1]["y"] == "hit"
+        assert "y" not in by_x[2]
+        assert joined.column_values("y") is not None
+        assert ABSENT in joined.column_values("y")
+
+    def test_partial_row_joins_any_value_of_missing_variable(self):
+        # Compatibility constrains only the domain intersection: a row
+        # that does not bind y joins every y value (paper A.1).
+        left = BindingTable(
+            ["x", "y"], [Binding({"x": 1}), Binding({"x": 1, "y": 7})]
+        )
+        right = BindingTable(
+            ["y", "z"], [Binding({"y": 7, "z": "a"}), Binding({"y": 8, "z": "b"})]
+        )
+        joined = table_join(left, right)
+        assert set(joined) == {
+            Binding({"x": 1, "y": 7, "z": "a"}),
+            Binding({"x": 1, "y": 8, "z": "b"}),
+            Binding({"x": 1, "y": 7, "z": "a"}),  # total row joins y=7 only
+        }
+
+    def test_masks_through_union(self):
+        left = BindingTable(["x", "y"], [Binding({"x": 1})])
+        right = BindingTable(
+            ["x", "y"], [Binding({"x": 1}), Binding({"x": 1, "y": 2})]
+        )
+        union = table_union(left, right)
+        # {x=1} from both sides collapses; the masked and unmasked rows
+        # stay distinct.
+        assert set(union) == {Binding({"x": 1}), Binding({"x": 1, "y": 2})}
+        assert union.column_values("y") == [ABSENT, 2]
+
+    def test_union_aligns_disjoint_column_sets(self):
+        left = BindingTable(["x"], [Binding({"x": 1})])
+        right = BindingTable(["y"], [Binding({"y": 2})])
+        union = table_union(left, right)
+        assert union.columns == ("x", "y")
+        assert union.column_values("x") == [1, ABSENT]
+        assert union.column_values("y") == [ABSENT, 2]
+
+    def test_group_by_missing_is_its_own_key(self):
+        # grp (A.3): an unbound variable groups under MISSING, and rows
+        # that bind it group by value — masks never merge with values.
+        table = BindingTable(
+            ["x", "y"],
+            [
+                Binding({"x": 1, "y": "a"}),
+                Binding({"x": 2}),
+                Binding({"x": 3, "y": "a"}),
+                Binding({"x": 4}),
+            ],
+        )
+        groups = dict(group_by(table, ["y"]))
+        assert set(groups) == {("a",), (MISSING,)}
+        assert {row["x"] for row in groups[("a",)]} == {1, 3}
+        assert {row["x"] for row in groups[(MISSING,)]} == {2, 4}
+
+    def test_group_by_on_unstored_variable(self):
+        table = BindingTable(["x"], [Binding({"x": 1}), Binding({"x": 2})])
+        groups = group_by(table, ["ghost"])
+        assert len(groups) == 1
+        key, sub = groups[0]
+        assert key == (MISSING,)
+        assert len(sub) == 2
+
+    def test_left_join_then_group_by(self):
+        # An end-to-end OPTIONAL shape: left join, then grouping on the
+        # optional variable — unmatched rows form the MISSING group.
+        left = BindingTable(
+            ["n"], [Binding({"n": i}) for i in range(4)]
+        )
+        right = BindingTable(
+            ["n", "tag"],
+            [Binding({"n": 0, "tag": "t"}), Binding({"n": 2, "tag": "t"})],
+        )
+        joined = table_left_join(left, right)
+        groups = dict(group_by(joined, ["tag"]))
+        assert {row["n"] for row in groups[("t",)]} == {0, 2}
+        assert {row["n"] for row in groups[(MISSING,)]} == {1, 3}

@@ -94,6 +94,23 @@ class TestEdgePatterns:
         assert len(table) == 1 and table.rows[0]["x"] == "n"
 
 
+class TestPropertyTestErrors:
+    def test_missing_param_with_no_candidates_matches_reference(self, tiny_engine):
+        # The reference executor never evaluates a property test when no
+        # candidate reaches it; the columnar executor's constant-test
+        # prefetch must not raise earlier than that (regression).
+        from repro.errors import EvaluationError
+
+        query = "MATCH (n:NoSuchLabel {k=$missing})"
+        assert len(tiny_engine.bindings(query)) == 0
+        assert len(tiny_engine.bindings(query, naive=True)) == 0
+        # With candidates present, both executors raise identically.
+        with pytest.raises(EvaluationError):
+            tiny_engine.bindings("MATCH (n {k=$missing})")
+        with pytest.raises(EvaluationError):
+            tiny_engine.bindings("MATCH (n {k=$missing})", naive=True)
+
+
 class TestWhere:
     def test_filter_by_property(self, tiny_engine):
         table = tiny_engine.bindings("MATCH (n) WHERE n.name = 'b'")

@@ -80,6 +80,28 @@ class TestUnion:
         assert graph_union(G1, G2) == graph_union(G2, G1)
 
 
+class TestUnionInvariants:
+    def test_kind_collision_raises(self):
+        # 'x' is a node in one operand and an edge in the other: the
+        # union would violate Definition 2.1 disjointness. (Regression:
+        # the assembling fast path must keep the validating constructor's
+        # behaviour.)
+        import pytest
+
+        from repro.errors import GraphModelError
+
+        node_x = make(nodes=["x"])
+        edge_x = make(nodes=["a", "b"], edges=[("x", "a", "b")])
+        with pytest.raises(GraphModelError):
+            graph_union(node_x, edge_x)
+        with pytest.raises(GraphModelError):
+            graph_union(edge_x, node_x)
+
+    def test_union_with_empty_is_identity(self):
+        assert graph_union(empty_graph(), G1) == G1
+        assert graph_union(G1, empty_graph()) == G1
+
+
 class TestIntersect:
     def test_components(self):
         g = graph_intersect(G1, G2)

@@ -78,12 +78,13 @@ def chains(draw):
     return ast.Chain(tuple(elements))
 
 
-def _evaluate(graph, chain, naive, cost):
+def _evaluate(graph, chain, naive, cost, columnar=None):
     catalog = Catalog()
     catalog.register_graph("g", graph, default=True)
     ctx = EvalContext(catalog)
     ctx.naive_planner = naive
     ctx.use_cost_planner = cost
+    ctx.columnar_executor = columnar
     block = ast.MatchBlock((ast.PatternLocation(chain, "g"),), None)
     return set(evaluate_block(block, ctx))
 
@@ -91,10 +92,18 @@ def _evaluate(graph, chain, naive, cost):
 @given(graphs(), chains())
 @settings(max_examples=80, deadline=None)
 def test_all_planner_modes_agree(graph, chain):
+    """Every planner mode *and* both executors produce the same table.
+
+    This is the oracle of the columnar rewrite: the three planner modes
+    run the columnar pipeline (naive derives the reference executor, so
+    it is forced columnar here), and the cost-based order additionally
+    re-runs on the row-at-a-time reference executor.
+    """
     cost_based = _evaluate(graph, chain, naive=False, cost=True)
     heuristic = _evaluate(graph, chain, naive=False, cost=False)
-    naive = _evaluate(graph, chain, naive=True, cost=False)
-    assert cost_based == heuristic == naive
+    naive = _evaluate(graph, chain, naive=True, cost=False, columnar=True)
+    reference = _evaluate(graph, chain, naive=False, cost=True, columnar=False)
+    assert cost_based == heuristic == naive == reference
 
 
 @given(graphs(), chains(), st.sets(st.sampled_from(["n0", "n1", "n2"])))
