@@ -62,3 +62,15 @@ def test_all_paths_projection_stays_polynomial(benchmark, rungs):
     finder = PathFinder(graph, KSTAR)
     nodes, edges = benchmark(finder.all_paths_projection, source, target)
     assert len(edges) == 4 * rungs
+
+
+@pytest.mark.parametrize("rungs", RUNGS)
+def test_walk_multi_source_batched(benchmark, rungs):
+    # Every node as a source against one shared search structure: the
+    # batched engine's memoized product expansion is reused across the
+    # whole column of sources.
+    graph, _, target = ladder(rungs)
+    finder = PathFinder(graph, KSTAR)
+    all_sources = sorted(graph.nodes, key=str)
+    walks = benchmark(finder.shortest_multi, all_sources)
+    assert walks[f"n{rungs - 1}"]

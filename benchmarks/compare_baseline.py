@@ -63,7 +63,31 @@ def write_baseline(baseline_path, results_path, stat):
     return 0
 
 
-def compare(baseline_path, results_path, stat, threshold, summary_path):
+def check_required(baseline, current, required):
+    """Enforce presence of gated suites on both sides of the diff.
+
+    A benchmark under a ``--require`` prefix that exists in the baseline
+    but not in the results (or vice versa) is a hard failure, not the
+    soft "missing" warning — deleting a path benchmark must not silently
+    un-gate path performance.
+    """
+    problems = []
+    for prefix in required:
+        base_names = {n for n in baseline if n.startswith(prefix)}
+        cur_names = {n for n in current if n.startswith(prefix)}
+        if not base_names:
+            problems.append(f"no baseline entries under required {prefix!r}")
+        if not cur_names:
+            problems.append(f"no result entries under required {prefix!r}")
+        for name in sorted(base_names - cur_names):
+            problems.append(f"required benchmark missing from results: {name}")
+        for name in sorted(cur_names - base_names):
+            problems.append(f"required benchmark missing from baseline: {name}")
+    return problems
+
+
+def compare(baseline_path, results_path, stat, threshold, summary_path,
+            required=()):
     baseline = load_times(baseline_path, stat)
     current = load_times(results_path, stat)
     shared = sorted(set(baseline) & set(current))
@@ -73,6 +97,7 @@ def compare(baseline_path, results_path, stat, threshold, summary_path):
         print("no overlapping benchmarks between baseline and results",
               file=sys.stderr)
         return 1
+    required_problems = check_required(baseline, current, required)
 
     ratios = {name: current[name] / baseline[name] for name in shared}
     speed_factor = statistics.median(ratios.values())
@@ -119,6 +144,10 @@ def compare(baseline_path, results_path, stat, threshold, summary_path):
     if removed:
         print(f"\nWARNING: {len(removed)} baseline benchmark(s) missing "
               "from this run", file=sys.stderr)
+    if required_problems:
+        for problem in required_problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
     if regressions:
         worst = max(regressions, key=lambda item: item[1])
         print(
@@ -143,6 +172,11 @@ def main(argv=None):
     parser.add_argument("--summary", default="",
                         help="file to append the markdown delta table to "
                         "(e.g. $GITHUB_STEP_SUMMARY)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="PREFIX",
+                        help="fail when any benchmark under PREFIX is "
+                        "missing from either side (repeatable); used to "
+                        "pin gated suites like the path benchmarks")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the results instead "
                         "of comparing")
@@ -150,7 +184,7 @@ def main(argv=None):
     if args.update:
         return write_baseline(args.baseline, args.results, args.stat)
     return compare(args.baseline, args.results, args.stat, args.threshold,
-                   args.summary)
+                   args.summary, required=args.require)
 
 
 if __name__ == "__main__":

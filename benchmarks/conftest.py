@@ -25,6 +25,16 @@ def sizes(full, smoke):
     return list(smoke) if SMOKE else list(full)
 
 
+def full_persons(default):
+    """Full-mode SNB person count, overridable via ``BENCH_PERSONS``.
+
+    The weekly scheduled CI job sets ``BENCH_PERSONS=300`` to run the
+    non-smoke suite at snb300 scale; per-push smoke runs and local full
+    runs use each bench's default.
+    """
+    return int(os.environ.get("BENCH_PERSONS", default))
+
+
 @pytest.fixture(scope="session")
 def tour_engine():
     """The paper's toy instances (Figure 4) — used by Table 1 benches."""

@@ -5,9 +5,11 @@ that are evaluated incrementally against a growing binding table. A
 cost-based planner (see :mod:`repro.eval.planner`) orders atoms by
 estimated output cardinality over the graph's statistics so that
 selective, already-connected atoms run first; path atoms run once their
-source endpoint is bound, expanding via single-source product-graph
-searches. Prepared queries memoize the chosen orderings per pattern site
-and graph (:class:`~repro.eval.planner.PlanCache`).
+source endpoint is bound, grouping the binding column by source id and
+expanding via batched product-graph searches (one shared search
+structure per group, :mod:`repro.paths.product`). Prepared queries
+memoize the chosen orderings per pattern site and graph
+(:class:`~repro.eval.planner.PlanCache`).
 
 Semantics notes:
 
@@ -633,14 +635,20 @@ class PathAtom:
 
     # -- computed paths ------------------------------------------------------
     def _finder(
-        self, graph: PathPropertyGraph, ctx: EvalContext
+        self, graph: PathPropertyGraph, ctx: EvalContext, naive: bool = False
     ) -> PathFinder:
         nfa = _nfa_for(self.pattern.regex)
         views = {
             name: ctx.segments_for(name, graph)
             for name in regex_view_names(self.pattern.regex)
         }
-        return PathFinder(graph, nfa, views)
+        return PathFinder(graph, nfa, views, naive=naive)
+
+    def explain_strategy(self) -> str:
+        """The search strategy EXPLAIN reports for this atom."""
+        if self.pattern.stored:
+            return "stored"
+        return "bfs" if _nfa_for(self.pattern.regex).unit_cost else "dijkstra"
 
     def _extend_computed(
         self,
@@ -650,7 +658,7 @@ class PathAtom:
         ctx: EvalContext,
     ) -> BindingTable:
         pattern = self.pattern
-        finder = self._finder(graph, ctx)
+        finder = self._finder(graph, ctx, naive=True)
         from_var, to_var = self.from_var, self.to_var
         out_rows: List[Binding] = []
 
@@ -746,16 +754,214 @@ class PathAtom:
         if pattern.var and pattern.var not in row:
             row = row.extend(pattern.var, walk)
         if pattern.cost_var and pattern.cost_var not in row:
-            cost = walk.cost
-            if isinstance(cost, float) and cost.is_integer():
-                cost = int(cost)
-            row = row.extend(pattern.cost_var, cost)
+            row = row.extend(pattern.cost_var, _coerce_cost(walk.cost))
         return row
+
+    # -- columnar expansion --------------------------------------------------
+    def extend_columnar(
+        self,
+        table: BindingTable,
+        graph: PathPropertyGraph,
+        ev: ExpressionEvaluator,
+        ctx: EvalContext,
+    ) -> BindingTable:
+        """Batched columnar path expansion (mirrors :meth:`extend` exactly).
+
+        The incoming binding vectors are grouped by source id; each group
+        runs one batched product-graph search
+        (:meth:`~repro.paths.product.PathFinder.shortest_multi` and
+        friends share a memoized expansion structure across all groups),
+        and result vectors — target, walk handle, cost — are emitted
+        directly. Emission order matches the row-at-a-time reference
+        executor row for row, so both executors produce identical tables.
+        Stored-path patterns delegate to the shared scan.
+        """
+        if self.pattern.direction == ast.UNDIRECTED:
+            raise SemanticError("path patterns must be directed (-/ /-> or <-/ /-)")
+        if self.pattern.stored:
+            return self._extend_stored(table, graph, ev)
+        pattern = self.pattern
+        finder = self._finder(graph, ctx)
+        from_var, to_var = self.from_var, self.to_var
+        names = list(
+            dict.fromkeys(
+                [
+                    self.src_var,
+                    self.dst_var,
+                    *((pattern.var,) if pattern.var else ()),
+                    *((pattern.cost_var,) if pattern.cost_var else ()),
+                ]
+            )
+        )
+        nrows = len(table)
+        name_vectors = {name: table.column_values(name) for name in names}
+
+        def value_at(name: str, index: int):
+            vector = name_vectors.get(name)
+            if vector is None:
+                vector = table.column_values(name)
+            return vector[index] if vector is not None else ABSENT
+
+        # Group row indices by the source endpoint; rows with an unbound
+        # source try every node (mirroring the reference's two phases:
+        # bound rows first, then unbound rows, per bucket).
+        groups: Dict[Any, List[int]] = defaultdict(list)
+        from_vec = name_vectors.get(from_var)
+        unbound_rows: List[int] = []
+        for i in range(nrows):
+            value = from_vec[i] if from_vec is not None else ABSENT
+            if value is not ABSENT:
+                groups[value].append(i)
+            else:
+                unbound_rows.append(i)
+        if unbound_rows:
+            all_nodes = _sorted_ids(graph.nodes)
+            for i in unbound_rows:
+                for node in all_nodes:
+                    groups[node].append(i)
+
+        out_index: List[int] = []
+        out_cols: Dict[str, List[Any]] = {name: [] for name in names}
+
+        def emit(index: int, assigned: Dict[str, Any]) -> None:
+            out_index.append(index)
+            for name in names:
+                if name in assigned:
+                    out_cols[name].append(assigned[name])
+                else:
+                    vector = name_vectors[name]
+                    out_cols[name].append(vector[index] if vector is not None else ABSENT)
+
+        def base_assignment(index: int, source: Any) -> Dict[str, Any]:
+            if value_at(from_var, index) is ABSENT:
+                return {from_var: source}
+            return {}
+
+        sources = [s for s in sorted(groups, key=str) if s in graph.nodes]
+
+        if pattern.mode == "reach":
+            reachable_by_source = finder.reachable_multi(sources)
+            for source in sources:
+                reachable = reachable_by_source[source]
+                for i in groups[source]:
+                    assigned = base_assignment(i, source)
+                    bound_target = value_at(to_var, i)
+                    if bound_target is not ABSENT:
+                        if bound_target in reachable:
+                            emit(i, assigned)
+                    else:
+                        for target in _sorted_ids(reachable):
+                            emit(i, {**assigned, to_var: target})
+        elif pattern.mode == "all":
+            for source in sources:
+                for i in groups[source]:
+                    assigned = base_assignment(i, source)
+                    bound_target = value_at(to_var, i)
+                    targets = (
+                        [bound_target]
+                        if bound_target is not ABSENT
+                        else _sorted_ids(graph.nodes)
+                    )
+                    for target in targets:
+                        nodes, edges = finder.all_paths_projection(source, target)
+                        if not nodes:
+                            continue
+                        handle = AllPathsHandle(
+                            source,
+                            target,
+                            tuple(_sorted_ids(nodes)),
+                            tuple(_sorted_ids(edges)),
+                        )
+                        extended = dict(assigned)
+                        if bound_target is ABSENT:
+                            extended[to_var] = target
+                        if pattern.var:
+                            extended[pattern.var] = handle
+                        emit(i, extended)
+        elif pattern.count == 1:
+            # One batched multi-source search: per-source target sets when
+            # every row of the group pins the target, the full reachable
+            # set otherwise.
+            targets_map: Dict[Any, Optional[Set[Any]]] = {}
+            for source in sources:
+                bound: Set[Any] = set()
+                all_bound = True
+                for i in groups[source]:
+                    value = value_at(to_var, i)
+                    if value is ABSENT:
+                        all_bound = False
+                        break
+                    bound.add(value)
+                targets_map[source] = bound if all_bound else None
+            walks_by_source = finder.shortest_multi(sources, targets_map)
+            for source in sources:
+                walks = walks_by_source[source]
+                for i in groups[source]:
+                    assigned = base_assignment(i, source)
+                    bound_target = value_at(to_var, i)
+                    if bound_target is not ABSENT:
+                        walk = walks.get(bound_target)
+                        if walk is not None:
+                            emit(i, self._walk_assignment(i, assigned, walk, value_at))
+                    else:
+                        for target in sorted(walks, key=str):
+                            extended = {**assigned, to_var: target}
+                            emit(i, self._walk_assignment(i, extended, walks[target], value_at))
+        else:
+            # k SHORTEST: hoist the target enumeration and the per-target
+            # k-walk scans out of the row loop — every row of a source
+            # group sees the same walks, so each search runs once per
+            # (source, target) instead of once per row.
+            for source in sources:
+                shared_targets: Optional[List[Any]] = None
+                walks_cache: Dict[Any, List[Walk]] = {}
+                for i in groups[source]:
+                    assigned = base_assignment(i, source)
+                    bound_target = value_at(to_var, i)
+                    if bound_target is not ABSENT:
+                        targets = [bound_target]
+                    elif shared_targets is not None:
+                        targets = shared_targets
+                    else:
+                        shared_targets = sorted(finder.conforming_targets(source), key=str)
+                        targets = shared_targets
+                    for target in targets:
+                        walks = walks_cache.get(target)
+                        if walks is None:
+                            walks = finder.k_shortest(source, target, pattern.count)
+                            walks_cache[target] = walks
+                        for walk in walks:
+                            extended = dict(assigned)
+                            if bound_target is ABSENT:
+                                extended[to_var] = target
+                            emit(i, self._walk_assignment(i, extended, walk, value_at))
+        columns = tuple(table.columns) + tuple(self.binds())
+        return _assemble(table, columns, names, out_index, out_cols)
+
+    def _walk_assignment(
+        self, index: int, assigned: Dict[str, Any], walk: Walk, value_at
+    ) -> Dict[str, Any]:
+        """Columnar mirror of :meth:`_bind_walk`'s bind-if-absent rules."""
+        pattern = self.pattern
+        if pattern.var and pattern.var not in assigned:
+            if value_at(pattern.var, index) is ABSENT:
+                assigned[pattern.var] = walk
+        if pattern.cost_var and pattern.cost_var not in assigned:
+            if value_at(pattern.cost_var, index) is ABSENT:
+                assigned[pattern.cost_var] = _coerce_cost(walk.cost)
+        return assigned
 
 
 # ---------------------------------------------------------------------------
 # Shared helpers
 # ---------------------------------------------------------------------------
+
+def _coerce_cost(cost: float) -> Any:
+    """Integral walk costs bind as ints (hop counts print as 2, not 2.0)."""
+    if isinstance(cost, float) and cost.is_integer():
+        return int(cost)
+    return cost
+
 
 def _property_tests_pass(
     graph: PathPropertyGraph,
@@ -936,7 +1142,10 @@ def evaluate_block(
         ordered = _ordered_atoms(atoms, table, location, graph, ctx)
         for atom in ordered:
             if isinstance(atom, PathAtom):
-                table = atom.extend(table, graph, ev, ctx)
+                if columnar:
+                    table = atom.extend_columnar(table, graph, ev, ctx)
+                else:
+                    table = atom.extend(table, graph, ev, ctx)
             elif columnar:
                 table = atom.extend_columnar(table, graph, ev)
             else:

@@ -25,7 +25,7 @@ from ..lang import ast
 from ..model.graph import ObjectId, PathPropertyGraph
 from ..model.values import as_scalar
 from ..paths.product import ViewSegment
-from ..paths.walk import Walk
+from ..paths.walk import Walk, walk_key
 from .context import EvalContext
 from .expressions import ExpressionEvaluator
 
@@ -102,12 +102,12 @@ def materialize_path_view(
         by_source.setdefault(sequence[0], []).append(
             ViewSegment(target=sequence[-1], cost=cost, sequence=sequence)
         )
+    # Segments are sorted by (cost, lexicographic key) so view arcs are
+    # expanded in the same deterministic order the product search uses
+    # for its own tie-breaking.
     return {
         source: tuple(
-            sorted(
-                segments,
-                key=lambda s: (s.cost, tuple(str(x) for x in s.sequence)),
-            )
+            sorted(segments, key=lambda s: (s.cost, walk_key(s.sequence)))
         )
         for source, segments in by_source.items()
     }

@@ -33,6 +33,8 @@ import heapq
 from collections import OrderedDict
 from typing import Iterable, List, NamedTuple, Optional, Sequence, Set, Tuple
 
+from ..paths.automaton import regex_edge_labels
+
 __all__ = [
     "atom_score",
     "estimate_cardinality",
@@ -42,10 +44,6 @@ __all__ = [
     "PlanStep",
     "PlanCache",
 ]
-
-#: Fraction of the node set assumed reachable by an unconstrained
-#: regular-path search from a bound source.
-_REACH_FRACTION = 0.5
 
 
 # ---------------------------------------------------------------------------
@@ -138,7 +136,9 @@ def _path_estimate(atom, bound: Set[str], stats) -> float:
         if atom.to_var in bound:
             matching /= nodes
         return matching
-    fanout = max(nodes * _REACH_FRACTION, 1.0)
+    # Computed path: bound the reachable-target fan by the statically
+    # known edge labels of the regex (None = unbounded wildcard/view).
+    fanout = stats.reachability_estimate(regex_edge_labels(pattern.regex))
     if pattern.mode not in ("reach", "all"):
         fanout *= max(pattern.count, 1)
     if atom.from_var in bound:
@@ -261,14 +261,19 @@ def explain_order(
     it — taken from the recorded :class:`PlanStep`, so the numbers match
     the actual planning decisions.
     """
+    executor = "naive" if naive else "batched"
     lines: List[str] = []
     for step in plan_atoms(atoms, bound, naive=naive, stats=stats):
         detail = f"score={step.score:<3}"
         if step.estimate is not None:
             detail += f" est~{_format_estimate(step.estimate):<8}"
-        lines.append(
-            f"  {step.atom.kind:<5} {detail} binds={sorted(step.atom.binds())}"
-        )
+        line = f"  {step.atom.kind:<5} {detail} binds={sorted(step.atom.binds())}"
+        strategy = getattr(step.atom, "explain_strategy", None)
+        if strategy is not None:
+            # Path atoms report their search strategy (bfs vs dijkstra)
+            # and which executor will run them (batched vs naive).
+            line += f" strategy={strategy()},{executor}"
+        lines.append(line)
     return "\n".join(lines)
 
 

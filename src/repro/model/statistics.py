@@ -27,6 +27,11 @@ __all__ = ["GraphStatistics"]
 #: Selectivity assumed for an equality test on a key we have no data for.
 DEFAULT_SELECTIVITY = 0.1
 
+#: Fraction of the node set assumed reachable by a regular-path search
+#: whose edge labels cannot be bounded statically (any-edge wildcards,
+#: PATH-view arcs, bare ``-/p/->`` patterns).
+DEFAULT_REACH_FRACTION = 0.5
+
 
 class GraphStatistics:
     """Immutable summary statistics of one :class:`PathPropertyGraph`."""
@@ -132,6 +137,47 @@ class GraphStatistics:
         """Average *label* in-degree over nodes that have one at all."""
         count = self.edge_label_count(label)
         return count / max(self.edge_label_targets.get(label, 0), 1)
+
+    # ------------------------------------------------------------------
+    # Reachability (path-pattern cost model)
+    # ------------------------------------------------------------------
+    def label_reach_fraction(self, label: str) -> float:
+        """Fraction of nodes that can be *entered* over a *label* edge.
+
+        The set of targets of ``label`` edges upper-bounds everything a
+        regular path built from that label can reach (beyond the source
+        itself), so ``|targets(label)| / |nodes|`` is the planner's
+        per-label reachability estimate.
+        """
+        if not self.node_count:
+            return 0.0
+        return min(
+            self.edge_label_targets.get(label, 0) / self.node_count, 1.0
+        )
+
+    def reachability_estimate(
+        self, labels: Optional[Iterable[str]] = None
+    ) -> float:
+        """Expected number of nodes reachable from a bound source.
+
+        *labels* is the statically-known edge-label set of the path's
+        regular expression (:func:`repro.paths.automaton.regex_edge_labels`):
+        ``None`` means unbounded (any-edge wildcard or view arcs — fall
+        back to :data:`DEFAULT_REACH_FRACTION` of the graph), the empty
+        set means the regex traverses no edges at all (only the source
+        itself is reachable). Never below 1 so downstream products stay
+        monotone.
+        """
+        if labels is None:
+            return max(self.node_count * DEFAULT_REACH_FRACTION, 1.0)
+        label_list = list(labels)
+        if not label_list:
+            return 1.0
+        fraction = max(
+            (self.label_reach_fraction(label) for label in label_list),
+            default=0.0,
+        )
+        return max(self.node_count * fraction, 1.0)
 
     # ------------------------------------------------------------------
     # Selectivities

@@ -23,7 +23,13 @@ from typing import FrozenSet, List, Optional, Set, Tuple
 from ..errors import SemanticError
 from ..lang import ast
 
-__all__ = ["Arc", "NFA", "compile_regex", "regex_view_names"]
+__all__ = [
+    "Arc",
+    "NFA",
+    "compile_regex",
+    "regex_view_names",
+    "regex_edge_labels",
+]
 
 
 @dataclass(frozen=True)
@@ -49,6 +55,7 @@ class NFA:
         self.accept: int = 0
         self._closed_moves: List[Tuple[Tuple[Arc, int], ...]] = []
         self._accepting: List[bool] = []
+        self._unit_cost: bool = True
 
     # Construction ------------------------------------------------------
     def new_state(self) -> int:
@@ -82,6 +89,9 @@ class NFA:
                         moves.append((arc, target))
             self._closed_moves.append(tuple(moves))
             self._accepting.append(self.accept in closure)
+        self._unit_cost = not any(
+            arc.kind == "view" for moves in self._closed_moves for arc, _ in moves
+        )
         return self
 
     # Queries -------------------------------------------------------------
@@ -96,6 +106,17 @@ class NFA:
     def is_accepting(self, state: int) -> bool:
         """True iff an accept state is in the epsilon closure of *state*."""
         return self._accepting[state]
+
+    @property
+    def unit_cost(self) -> bool:
+        """True iff every arc costs 0 or 1 (no PATH-view arcs).
+
+        Edge arcs cost 1 and node-test arcs cost 0; only ``view`` arcs
+        carry arbitrary positive costs. A unit-cost automaton lets the
+        product-graph search run the level-synchronous BFS fast path
+        instead of a full Dijkstra (see :mod:`repro.paths.product`).
+        """
+        return self._unit_cost
 
     def view_names(self) -> FrozenSet[str]:
         """All PATH-view names referenced by this automaton."""
@@ -176,6 +197,42 @@ def _build(nfa: NFA, regex: ast.RegexExpr, source: int, target: int) -> None:
             nfa.add_arc(current, None, target)
     else:
         raise SemanticError(f"unsupported regular path expression: {regex!r}")
+
+
+def regex_edge_labels(
+    regex: Optional[ast.RegexExpr],
+) -> Optional[FrozenSet[str]]:
+    """The edge labels a conforming walk may traverse, or None if unknown.
+
+    Returns the set of labels appearing in ``edge`` positions of *regex*
+    (inverse traversals included). ``None`` means the label set cannot be
+    bounded statically — the regex contains an any-edge wildcard or a
+    PATH-view reference, or is a bare ``-/p/->`` pattern (any-walk). The
+    cost model uses this to bound reachability estimates per label
+    (:meth:`repro.model.statistics.GraphStatistics.reachability_estimate`).
+    """
+    labels: Set[str] = set()
+    unknown = False
+
+    def visit(node: Optional[ast.RegexExpr]) -> None:
+        nonlocal unknown
+        if node is None or unknown:
+            unknown = unknown or node is None
+            return
+        if isinstance(node, ast.RLabel):
+            labels.add(node.label)
+        elif isinstance(node, (ast.RAnyEdge, ast.RView)):
+            unknown = True
+        elif isinstance(node, (ast.RConcat, ast.RAlt)):
+            for item in node.items:
+                visit(item)
+        elif isinstance(node, (ast.RStar, ast.RPlus, ast.ROpt, ast.RRepeat)):
+            visit(node.item)
+
+    visit(regex)
+    if unknown:
+        return None
+    return frozenset(labels)
 
 
 def regex_view_names(regex: Optional[ast.RegexExpr]) -> FrozenSet[str]:

@@ -15,7 +15,19 @@ from typing import Tuple
 
 from ..model.graph import ObjectId, path_edges, path_nodes
 
-__all__ = ["Walk", "AllPathsHandle"]
+__all__ = ["Walk", "AllPathsHandle", "walk_key"]
+
+
+def walk_key(sequence: Tuple[ObjectId, ...]) -> Tuple[str, ...]:
+    """The lexicographic tie-breaking key of a walk sequence.
+
+    Equal-cost walks are ordered by the string form of their identifier
+    sequence (Appendix A footnote 4), making every search in
+    :mod:`repro.paths.product` fully deterministic. The batched engine
+    builds these keys incrementally (parent key + extension) instead of
+    re-stringifying whole sequences per heap push.
+    """
+    return tuple(str(obj) for obj in sequence)
 
 
 @dataclass(frozen=True)
@@ -56,6 +68,10 @@ class Walk:
         if self.target != other.source:
             raise ValueError("walks do not share an endpoint")
         return Walk(self.sequence + other.sequence[1:], self.cost + other.cost)
+
+    def key(self) -> Tuple[str, ...]:
+        """This walk's lexicographic tie-breaking key (:func:`walk_key`)."""
+        return walk_key(self.sequence)
 
     def __repr__(self) -> str:
         return f"Walk({list(self.sequence)!r}, cost={self.cost})"

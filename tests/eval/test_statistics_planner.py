@@ -79,6 +79,49 @@ class TestGraphStatistics:
         text = social.statistics().describe()
         assert "Person" in text and "knows" in text
 
+    def test_label_reach_fraction(self, social):
+        stats = social.statistics()
+        fraction = stats.label_reach_fraction("knows")
+        targets = {social.endpoints(e)[1] for e in social.edges_with_label("knows")}
+        assert fraction == pytest.approx(len(targets) / stats.node_count)
+        assert stats.label_reach_fraction("no-such-label") == 0.0
+
+    def test_reachability_estimate_modes(self, social):
+        stats = social.statistics()
+        # Unknown label set: the default fraction of the graph.
+        assert stats.reachability_estimate(None) == pytest.approx(
+            max(stats.node_count * 0.5, 1.0)
+        )
+        # No edge traversal at all: only the source itself.
+        assert stats.reachability_estimate(frozenset()) == 1.0
+        # Labeled: bounded by the label's entered-node set.
+        labeled = stats.reachability_estimate(frozenset({"knows"}))
+        assert labeled == pytest.approx(
+            max(
+                stats.node_count * stats.label_reach_fraction("knows"), 1.0
+            )
+        )
+        assert labeled <= stats.node_count
+
+    def test_path_estimate_uses_regex_labels(self, social):
+        # A labeled path pattern must get a tighter (or equal) fan
+        # estimate than an unconstrained -/p/-> pattern.
+        stats = social.statistics()
+        labeled_atom = chain_atoms("(x)-/p <:knows*>/->(y)")[2]
+        bare_atom = chain_atoms("(x)-/q/->(y)")[2]
+        labeled = estimate_cardinality(labeled_atom, {"x"}, stats)
+        bare = estimate_cardinality(bare_atom, {"x"}, stats)
+        assert labeled <= bare
+
+    def test_explain_reports_path_strategy(self, social):
+        atoms = chain_atoms("(x)-/p <:knows*>/->(y)")
+        text = explain_order(atoms, set(), stats=social.statistics())
+        assert "strategy=bfs,batched" in text
+        naive_text = explain_order(
+            atoms, set(), stats=social.statistics(), naive=True
+        )
+        assert "strategy=bfs,naive" in naive_text
+
 
 class TestCardinalityEstimates:
     """Estimates vs. actual cardinalities on the paper's instances."""

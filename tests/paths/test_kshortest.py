@@ -78,6 +78,57 @@ class TestKShortest:
         assert finder.k_shortest("s", "zz", 2) == []
 
 
+def duplicate_run_setup(branches=2):
+    """A 2-cycle with a regex whose runs massively duplicate each walk.
+
+    ``((k k)|(k k))*`` accepts every even-length walk, and each walk of
+    length 2i has ``branches**i`` distinct automaton runs — all
+    converging on the single star-hub product state.
+    """
+    b = GraphBuilder()
+    b.add_node("x")
+    b.add_node("y")
+    b.add_edge("x", "y", edge_id="exy", labels=["k"])
+    b.add_edge("y", "x", edge_id="eyx", labels=["k"])
+    pair = ast.RConcat((ast.RLabel("k"), ast.RLabel("k")))
+    regex = ast.RStar(ast.RAlt(tuple(pair for _ in range(branches))))
+    return b.build(), compile_regex(regex)
+
+
+class TestKShortestDuplicateTruncation:
+    """Regression: the historical ``2k + 4`` pop bound silently dropped
+    valid walks when duplicate graph walks from distinct automaton runs
+    exhausted a product state's budget. The public API must detect the
+    suppression and fall back to the duplicate-aware exact scan."""
+
+    def test_bounded_scan_truncates(self):
+        # Documents the original bug: the bounded fast path alone loses
+        # the 5th walk (duplicates of cheaper walks eat the pop budget).
+        graph, nfa = duplicate_run_setup()
+        finder = PathFinder(graph, nfa, naive=True)
+        results, truncated = finder._k_shortest_bounded("x", "x", 5)
+        assert truncated
+        assert len(results) < 5
+
+    def test_public_api_falls_back_to_exact_scan(self):
+        graph, nfa = duplicate_run_setup()
+        finder = PathFinder(graph, nfa, naive=True)
+        walks = finder.k_shortest("x", "x", 5)
+        # x, xx (via y and back), xxxx, ... one distinct walk per even
+        # length: all five must be found, in cost order.
+        assert [w.cost for w in walks] == [0, 2, 4, 6, 8]
+        assert len({w.sequence for w in walks}) == 5
+
+    def test_batched_engine_is_exact(self):
+        graph, nfa = duplicate_run_setup(branches=3)
+        naive = PathFinder(graph, nfa, naive=True)
+        batched = PathFinder(graph, nfa)
+        for k in (1, 3, 4, 5, 7):
+            expected = naive.k_shortest("x", "x", k)
+            assert batched.k_shortest("x", "x", k) == expected
+            assert len(expected) == k
+
+
 class TestWalkValue:
     def test_accessors(self):
         walk = Walk(("a", "e1", "b", "e2", "c"), 2.0)
@@ -85,6 +136,7 @@ class TestWalkValue:
         assert walk.nodes() == ("a", "b", "c")
         assert walk.edges() == ("e1", "e2")
         assert walk.length() == 2
+        assert walk.key() == ("a", "e1", "b", "e2", "c")
 
     def test_zero_length(self):
         walk = Walk(("a",))
