@@ -8,11 +8,11 @@ sentinel), so partial bindings group deterministically.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 from .binding import ABSENT, Binding, BindingTable
 
-__all__ = ["MISSING", "group_key", "group_by"]
+__all__ = ["MISSING", "group_key", "group_by", "presence_mask"]
 
 
 class _Missing:
@@ -39,6 +39,25 @@ def group_key(row: Binding, variables: Sequence[str]) -> Tuple[Any, ...]:
 
 def _sort_token(value: Any) -> str:
     return f"{type(value).__name__}:{value!r}"
+
+
+def presence_mask(table: BindingTable, domain: Iterable[str]) -> List[bool]:
+    """Per-row mask: does the row bind every variable of *domain*?
+
+    The columnar form of the ``maximal_domain <= row.domain`` test the
+    COUNT(*) maximality rule performs — computed once from the presence
+    (non-``ABSENT``) masks of the domain's column vectors instead of per
+    row view, so vectorized aggregation can count a group by summing a
+    mask slice.
+    """
+    nrows = len(table)
+    mask = [True] * nrows
+    for var in domain:
+        vector = table.column_values(var)
+        if vector is None:
+            return [False] * nrows
+        mask = [m and vector[i] is not ABSENT for i, m in enumerate(mask)]
+    return mask
 
 
 def group_by(

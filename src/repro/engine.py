@@ -331,13 +331,17 @@ class GCoreEngine:
 
         Pattern atoms are listed in planner order with the heuristic
         score and — when the target graph is resolvable — the estimated
-        output cardinality each atom had at selection time. The header
-        reports whether the query text currently sits in the
-        prepared-query cache (``plan: cached`` vs ``plan: cold``).
+        output cardinality each atom had at selection time, followed by
+        the WHERE pushdown assignment: which conjuncts filter at which
+        atom's probe, which apply as post-atom filters, and which remain
+        residual at block end. The header reports whether the query text
+        currently sits in the prepared-query cache (``plan: cached`` vs
+        ``plan: cold``).
         """
         from .eval.match import decompose_chain, _AnonNamer
-        from .eval.planner import explain_order
-        from .lang.pretty import pretty_chain
+        from .eval.planner import explain_order, order_atoms
+        from .eval.pushdown import PushdownPlan
+        from .lang.pretty import pretty_chain, pretty_expr
 
         statement = self.parse(text)
         if isinstance(statement, ast.GraphViewStmt):
@@ -346,6 +350,14 @@ class GCoreEngine:
             query = statement
         cached = "cached" if self.is_plan_cached(text) else "cold"
         lines: List[str] = [f"plan: {cached}"]
+        # Execution always runs with every $param bound (PreparedQuery
+        # rejects missing ones before evaluating), so the pushdown
+        # totality analysis must see the parameters as present — else
+        # EXPLAIN would report a $param conjunct as residual while the
+        # actual run pushes it.
+        param_names: Set[str] = set()
+        _collect_params(statement, param_names)
+        bound_params = dict.fromkeys(param_names)
 
         def location_graph(location) -> Optional[PathPropertyGraph]:
             """Best-effort resolution of a pattern's target graph."""
@@ -376,6 +388,17 @@ class GCoreEngine:
                         tag = "MATCH" if b_index == 0 else "OPTIONAL"
                         lines.append(f"{indent}  {tag}")
                         namer = _AnonNamer()
+                        plan = (
+                            PushdownPlan(block.where, bound_params)
+                            if block.where is not None
+                            else None
+                        )
+                        pushed_props = (
+                            plan.pushed_property_keys() or None
+                            if plan is not None
+                            else None
+                        )
+                        bound_sim: Set[str] = set()
                         for location in block.patterns:
                             on = (
                                 location.on
@@ -391,7 +414,27 @@ class GCoreEngine:
                                 graph.statistics() if graph is not None else None
                             )
                             atoms = decompose_chain(location.chain, namer)
-                            lines.append(explain_order(atoms, set(), stats=stats))
+                            lines.append(
+                                explain_order(
+                                    atoms, set(), stats=stats,
+                                    pushed_props=pushed_props,
+                                )
+                            )
+                            if plan is not None:
+                                ordered = order_atoms(
+                                    atoms, set(), stats=stats,
+                                    pushed_props=pushed_props,
+                                )
+                                for push_line in plan.simulate(
+                                    ordered, bound_sim
+                                ):
+                                    lines.append(f"{indent}    {push_line}")
+                        if plan is not None:
+                            for expr in plan.remaining():
+                                lines.append(
+                                    f"{indent}    residual "
+                                    f"{pretty_expr(expr)}"
+                                )
 
         for head in query.heads:
             if isinstance(head, ast.PathClause):

@@ -2,12 +2,15 @@
 
 from .context import EvalContext, IdFactory
 from .expressions import ExpressionEvaluator
+from .kernels import ExpressionCompiler, KernelContext
 from .query import QueryResult, ViewResult, evaluate_query, evaluate_statement
 
 __all__ = [
     "EvalContext",
     "IdFactory",
+    "ExpressionCompiler",
     "ExpressionEvaluator",
+    "KernelContext",
     "QueryResult",
     "ViewResult",
     "evaluate_query",

@@ -83,6 +83,12 @@ class EvalContext:
         # row-at-a-time reference executor, None (default) derives it
         # from the planner mode (naive planner -> reference executor).
         self.columnar_executor: Optional[bool] = None
+        # Expression-engine choice: True compiles WHERE / SELECT /
+        # GROUP BY expressions to columnar kernels (repro.eval.kernels),
+        # False keeps the row-at-a-time ExpressionEvaluator oracle, None
+        # (default) rides with the executor choice. Flipping only this
+        # flag isolates the expression engine in ablations.
+        self.vectorized_expressions: Optional[bool] = None
         # Memoized atom orderings, installed by PreparedQuery executions
         # (see repro.eval.planner.PlanCache); None = plan every block.
         self.plan_cache = None
@@ -109,11 +115,25 @@ class EvalContext:
         child.naive_planner = self.naive_planner
         child.use_cost_planner = self.use_cost_planner
         child.columnar_executor = self.columnar_executor
+        child.vectorized_expressions = self.vectorized_expressions
         child.plan_cache = self.plan_cache
         child.overlay_labels = self.overlay_labels
         child.overlay_props = self.overlay_props
         child._segment_cache = self._segment_cache
         return child
+
+    def use_vectorized(self) -> bool:
+        """Whether expressions evaluate through compiled columnar kernels.
+
+        Defaults follow the executor: the columnar pipeline gets the
+        vectorized expression engine, the ``naive=True`` reference path
+        keeps the interpreted oracle.
+        """
+        if self.vectorized_expressions is not None:
+            return self.vectorized_expressions
+        if self.columnar_executor is not None:
+            return self.columnar_executor
+        return not self.naive_planner
 
     # ------------------------------------------------------------------
     def resolve_graph(self, name: str) -> PathPropertyGraph:

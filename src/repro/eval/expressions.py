@@ -273,9 +273,15 @@ class ExpressionEvaluator:
                 maximal_domain=maxdom,
             )
         args = [self.evaluate(arg, row, group, maxdom) for arg in expr.args]
-        return self._builtin(name, args)
+        return self.call_builtin(name, args)
 
-    def _builtin(self, name: str, args: Sequence[Any]) -> Any:
+    def call_builtin(self, name: str, args: Sequence[Any]) -> Any:
+        """Dispatch a non-aggregate builtin over already-evaluated args.
+
+        Public because the vectorized kernels (:mod:`repro.eval.kernels`)
+        evaluate argument vectors themselves and reuse this dispatcher
+        element-wise, keeping one implementation of builtin semantics.
+        """
         if name == "nodes":
             return self._path_members(args, edges=False)
         if name == "edges":

@@ -32,14 +32,16 @@ from ..algebra.ops import table_left_join
 from ..errors import EvaluationError, SemanticError
 from ..lang import ast
 from ..model.graph import ObjectId, PathPropertyGraph
-from ..model.values import gcore_equals
+from ..model.values import gcore_equals, truthy
 from ..paths.automaton import NFA, compile_regex, regex_view_names
 from ..paths.product import PathFinder
 from ..paths.walk import AllPathsHandle, Walk
 from .analysis import analyze_match
 from .context import EvalContext
 from .expressions import ExpressionEvaluator
+from .kernels import ExpressionCompiler, KernelContext
 from .planner import order_atoms
+from .pushdown import PushdownPlan, split_conjuncts
 
 __all__ = [
     "evaluate_match",
@@ -291,11 +293,18 @@ class NodeAtom:
         table: BindingTable,
         graph: PathPropertyGraph,
         ev: ExpressionEvaluator,
+        probe_filters=None,
     ) -> BindingTable:
         """Columnar expansion: candidates resolved once, output built as
-        vectors. Emission order matches :meth:`extend` exactly."""
+        vectors. Emission order matches :meth:`extend` exactly.
+
+        ``probe_filters`` (var -> object predicate) carries WHERE
+        conjuncts pushed down to this atom: candidates failing the
+        predicate are dropped before any row materializes.
+        """
         pattern = self.pattern
         var = self.var
+        probe = (probe_filters or {}).get(var)
         const_tests, dyn_tests = _split_prop_tests(pattern.prop_tests, ev)
         unroller = _BindUnroller(graph, pattern.prop_binds)
         names = list(
@@ -322,6 +331,7 @@ class NodeAtom:
                         bound in graph.nodes
                         and _satisfies_labels(graph.labels(bound), pattern.labels)
                         and _const_tests_pass(graph, bound, const_tests)
+                        and (probe is None or probe(bound))
                     )
                     bound_ok[bound] = ok
                 candidates: Iterable[ObjectId] = (bound,) if ok else ()
@@ -333,6 +343,7 @@ class NodeAtom:
                             graph.nodes, pattern.labels, graph.nodes_with_label
                         )
                         if _const_tests_pass(graph, node, const_tests)
+                        and (probe is None or probe(node))
                     ]
                 candidates = candidate_cache
             for node in candidates:
@@ -446,6 +457,7 @@ class EdgeAtom:
         table: BindingTable,
         graph: PathPropertyGraph,
         ev: ExpressionEvaluator,
+        probe_filters=None,
     ) -> BindingTable:
         """Hash-join expansion against label-bucketed adjacency lists.
 
@@ -455,9 +467,17 @@ class EdgeAtom:
         tests) is memoized across rows. Emission order matches
         :meth:`extend` exactly, so both executors produce identical
         tables — rows included, order included.
+
+        ``probe_filters`` (var -> object predicate) carries pushed-down
+        WHERE conjuncts: predicates on the edge variable fold into the
+        memoized admissibility check, endpoint predicates drop a
+        candidate edge right after its endpoints resolve — in both cases
+        before the row materializes.
         """
         pattern = self.pattern
         var = self.var
+        probe_filters = probe_filters or {}
+        edge_probe = probe_filters.get(var) if var else None
         const_tests, dyn_tests = _split_prop_tests(pattern.prop_tests, ev)
         unroller = _BindUnroller(graph, pattern.prop_binds)
         names = list(
@@ -486,13 +506,17 @@ class EdgeAtom:
         edge_ok: Dict[ObjectId, bool] = {}
         rho = graph.endpoints
         scan_cache: Optional[List[ObjectId]] = None
-        orientations = self._orientations()
+        orientations = [
+            (from_var, to_var, probe_filters.get(from_var),
+             probe_filters.get(to_var))
+            for from_var, to_var in self._orientations()
+        ]
 
         out_index: List[int] = []
         out_cols: Dict[str, List[Any]] = {name: [] for name in names}
 
         for i in range(nrows):
-            for from_var, to_var in orientations:
+            for from_var, to_var, from_probe, to_probe in orientations:
                 from_vec = name_vectors[from_var]
                 to_vec = name_vectors[to_var]
                 fv = from_vec[i] if from_vec is not None else ABSENT
@@ -517,6 +541,7 @@ class EdgeAtom:
                             edge in graph.edges
                             and _satisfies_labels(graph.labels(edge), labels)
                             and _const_tests_pass(graph, edge, const_tests)
+                            and (edge_probe is None or edge_probe(edge))
                         )
                         edge_ok[edge] = ok
                     if not ok:
@@ -525,6 +550,10 @@ class EdgeAtom:
                     if fv is not ABSENT and fv != src:
                         continue
                     if tv is not ABSENT and tv != dst:
+                        continue
+                    if from_probe is not None and not from_probe(src):
+                        continue
+                    if to_probe is not None and not to_probe(dst):
                         continue
                     if dyn_tests and not _property_tests_pass(
                         graph, edge, tuple(dyn_tests), ev, dyn_rows[i]
@@ -1088,13 +1117,15 @@ def _ordered_atoms(
     location: ast.PatternLocation,
     graph: PathPropertyGraph,
     ctx: EvalContext,
+    pushed_props=None,
 ) -> List[object]:
     """Plan a pattern, consulting the prepared-query plan cache if any.
 
     Orderings are memoized per (pattern site, bound columns, graph) —
     pattern evaluation order never affects the result (the semantics is a
     join), so a cached permutation is always safe to replay against the
-    identical site and graph.
+    identical site and graph. ``pushed_props`` feeds the selectivity of
+    pushed-down WHERE conjuncts into the cardinality estimates.
     """
     bound = set(table.columns)
     if ctx.naive_planner:
@@ -1102,15 +1133,56 @@ def _ordered_atoms(
     stats = graph.statistics() if ctx.use_cost_planner else None
     cache = ctx.plan_cache
     if cache is None:
-        return order_atoms(atoms, bound, stats=stats)
+        return order_atoms(
+            atoms, bound, stats=stats, pushed_props=pushed_props
+        )
     columns = tuple(table.columns)
     memoized = cache.lookup(location, columns, graph)
     if memoized is not None and len(memoized) == len(atoms):
         return [atoms[i] for i in memoized]
     position = {id(atom): i for i, atom in enumerate(atoms)}
-    ordered = order_atoms(atoms, bound, stats=stats)
+    ordered = order_atoms(atoms, bound, stats=stats, pushed_props=pushed_props)
     cache.store(location, columns, graph, [position[id(a)] for a in ordered])
     return ordered
+
+
+def _apply_conjuncts(
+    conjuncts: List[ast.Expr],
+    table: BindingTable,
+    ctx: EvalContext,
+    compiler: Optional[ExpressionCompiler],
+    ev: ExpressionEvaluator,
+) -> BindingTable:
+    """Filter *table* by a conjunction of WHERE conjuncts.
+
+    Conjuncts apply in order over a narrowing row-index set (the batched
+    mirror of the oracle's short-circuiting AND). With a *compiler* each
+    conjunct runs as one compiled kernel sharing a
+    :class:`KernelContext` (property/label lookups memoize across the
+    whole conjunction); without one (the interpreted-expressions
+    ablation) conjuncts evaluate per row through the oracle.
+    """
+    if not conjuncts or not table:
+        return table
+    rows = list(range(len(table)))
+    if compiler is not None:
+        kctx = KernelContext(table, ctx)
+        for conjunct in conjuncts:
+            if not rows:
+                break
+            values = compiler.compile(conjunct)(kctx, rows)
+            rows = [i for i, value in zip(rows, values) if truthy(value)]
+    else:
+        views = table.rows
+        for conjunct in conjuncts:
+            if not rows:
+                break
+            rows = [
+                i for i in rows if ev.evaluate_predicate(conjunct, views[i])
+            ]
+    if len(rows) == len(table):
+        return table
+    return table.select_rows(rows)
 
 
 def evaluate_block(
@@ -1132,6 +1204,21 @@ def evaluate_block(
         # planner ablation (``naive=True``); every planned mode runs the
         # columnar pipeline.
         columnar = not ctx.naive_planner
+    vectorized = ctx.use_vectorized()
+    compiler = ExpressionCompiler(ctx) if vectorized else None
+    # Predicate pushdown: total WHERE conjuncts apply as soon as their
+    # variables are bound — single-variable ones right at the candidate
+    # probe of the atom binding them — instead of at block end. Pushdown
+    # rides with the columnar executor (the planner prices it into its
+    # estimates), independent of the expression-engine choice, so the
+    # two expression engines see identical plans and produce identical
+    # tables — rows, order and columns.
+    plan: Optional[PushdownPlan] = None
+    pushed_props = None
+    if columnar and block.where is not None:
+        plan = PushdownPlan(block.where, ctx.params)
+        pushed_props = plan.pushed_property_keys() or None
+    bound_by_atoms: Set[str] = set()
     for location in block.patterns:
         graph = _resolve_location(location, ctx, block_default)
         if primary_graph is None:
@@ -1139,21 +1226,48 @@ def evaluate_block(
             ctx.current_graph = graph
         ctx.touch_graph(graph)
         atoms = decompose_chain(location.chain, namer, name_anonymous_edges)
-        ordered = _ordered_atoms(atoms, table, location, graph, ctx)
+        ordered = _ordered_atoms(
+            atoms, table, location, graph, ctx, pushed_props
+        )
         for atom in ordered:
+            probe = None
+            if plan is not None and not isinstance(atom, PathAtom):
+                taken = plan.take_probe(atom, bound_by_atoms)
+                if taken:
+                    probe = plan.probe_predicates(taken, ev)
             if isinstance(atom, PathAtom):
                 if columnar:
                     table = atom.extend_columnar(table, graph, ev, ctx)
                 else:
                     table = atom.extend(table, graph, ev, ctx)
             elif columnar:
-                table = atom.extend_columnar(table, graph, ev)
+                table = atom.extend_columnar(
+                    table, graph, ev, probe_filters=probe
+                )
             else:
                 table = atom.extend(table, graph, ev)
+            bound_by_atoms |= atom.binds()
+            if plan is not None and table:
+                post = plan.take_post(bound_by_atoms)
+                if post:
+                    table = _apply_conjuncts(
+                        [c.expr for c in post], table, ctx, compiler, ev
+                    )
             if not table:
                 break
     if block.where is not None and table:
-        table = table.filter(lambda row: ev.evaluate_predicate(block.where, row))
+        if plan is not None:
+            table = _apply_conjuncts(
+                plan.remaining(), table, ctx, compiler, ev
+            )
+        elif vectorized:
+            table = _apply_conjuncts(
+                split_conjuncts(block.where), table, ctx, compiler, ev
+            )
+        else:
+            table = table.filter(
+                lambda row: ev.evaluate_predicate(block.where, row)
+            )
     if not keep_anonymous:
         hidden = [c for c in table.columns if c.startswith(ANON_PREFIX)]
         if hidden:

@@ -90,23 +90,33 @@ def atom_score(atom, bound: Set[str]) -> int:
 # Cardinality estimation (statistics-driven cost model)
 # ---------------------------------------------------------------------------
 
-def _node_estimate(atom, bound: Set[str], stats) -> float:
+def _node_estimate(atom, bound: Set[str], stats, pushed=None) -> float:
     pattern = atom.pattern
     selectivity = stats.label_selectivity("node", pattern.labels)
     selectivity *= stats.property_tests_selectivity(
         "node", (key for key, _ in pattern.prop_tests)
     )
+    if pushed:
+        # WHERE conjuncts pushed into this atom filter its candidates
+        # exactly like pattern property tests do.
+        selectivity *= stats.property_tests_selectivity(
+            "node", pushed.get(atom.var, ())
+        )
     if atom.var in bound:
         return min(selectivity, 1.0)
     return stats.node_count * selectivity
 
 
-def _edge_estimate(atom, bound: Set[str], stats) -> float:
+def _edge_estimate(atom, bound: Set[str], stats, pushed=None) -> float:
     pattern = atom.pattern
     matching = stats.edge_count * stats.label_selectivity("edge", pattern.labels)
     matching *= stats.property_tests_selectivity(
         "edge", (key for key, _ in pattern.prop_tests)
     )
+    if pushed and atom.var:
+        matching *= stats.property_tests_selectivity(
+            "edge", pushed.get(atom.var, ())
+        )
     nodes = max(stats.node_count, 1)
     undirected = 2.0 if pattern.direction == "undirected" else 1.0
     if atom.var and atom.var in bound:
@@ -149,7 +159,9 @@ def _path_estimate(atom, bound: Set[str], stats) -> float:
     return nodes * fanout
 
 
-def estimate_cardinality(atom, bound: Iterable[str], stats) -> float:
+def estimate_cardinality(
+    atom, bound: Iterable[str], stats, pushed_props=None
+) -> float:
     """Estimated output rows per input row for *atom* under *bound*.
 
     Values below 1.0 mean the atom is expected to shrink the binding
@@ -157,13 +169,17 @@ def estimate_cardinality(atom, bound: Iterable[str], stats) -> float:
     relative — the greedy planner only compares atoms against each other
     at the same step — but on simple scans it equals the true output
     cardinality (tested against the paper's instances).
+    ``pushed_props`` maps a variable to the property keys of WHERE
+    conjuncts pushed down into the atom binding it (see
+    :mod:`repro.eval.pushdown`), sharpening the estimate with the same
+    per-key selectivities pattern property tests use.
     """
     bound_set = set(bound)
     kind = atom.kind
     if kind == "node":
-        return _node_estimate(atom, bound_set, stats)
+        return _node_estimate(atom, bound_set, stats, pushed_props)
     if kind == "edge":
-        return _edge_estimate(atom, bound_set, stats)
+        return _edge_estimate(atom, bound_set, stats, pushed_props)
     if kind == "path":
         return _path_estimate(atom, bound_set, stats)
     return float(stats.node_count)
@@ -186,6 +202,7 @@ def plan_atoms(
     bound: Iterable[str],
     naive: bool = False,
     stats=None,
+    pushed_props=None,
 ) -> List[PlanStep]:
     """Order *atoms* and record the priority each had when selected.
 
@@ -203,13 +220,16 @@ def plan_atoms(
             return (-score, 0)
         # Estimate first, heuristic score as a tie-breaker between atoms
         # with identical estimates (e.g. two unlabeled scans).
-        return (estimate_cardinality(atom, bound_set, stats), -score)
+        return (
+            estimate_cardinality(atom, bound_set, stats, pushed_props),
+            -score,
+        )
 
     if naive:
         steps = []
         for atom in atoms:
             estimate = (
-                estimate_cardinality(atom, bound_set, stats)
+                estimate_cardinality(atom, bound_set, stats, pushed_props)
                 if stats is not None
                 else None
             )
@@ -241,11 +261,17 @@ def order_atoms(
     bound: Iterable[str],
     naive: bool = False,
     stats=None,
+    pushed_props=None,
 ) -> List[object]:
     """Order *atoms* for evaluation, starting from *bound* variables."""
     if naive:
         return list(atoms)
-    return [step.atom for step in plan_atoms(atoms, bound, stats=stats)]
+    return [
+        step.atom
+        for step in plan_atoms(
+            atoms, bound, stats=stats, pushed_props=pushed_props
+        )
+    ]
 
 
 def explain_order(
@@ -253,6 +279,7 @@ def explain_order(
     bound: Iterable[str],
     stats=None,
     naive: bool = False,
+    pushed_props=None,
 ) -> str:
     """A human-readable trace of the chosen order (EXPLAIN support).
 
@@ -263,7 +290,9 @@ def explain_order(
     """
     executor = "naive" if naive else "batched"
     lines: List[str] = []
-    for step in plan_atoms(atoms, bound, naive=naive, stats=stats):
+    for step in plan_atoms(
+        atoms, bound, naive=naive, stats=stats, pushed_props=pushed_props
+    ):
         detail = f"score={step.score:<3}"
         if step.estimate is not None:
             detail += f" est~{_format_estimate(step.estimate):<8}"

@@ -38,6 +38,8 @@ __all__ = [
     "gcore_compare",
     "gcore_in",
     "gcore_subset",
+    "normalize_scalar",
+    "distinct_key",
     "truthy",
 ]
 
@@ -157,6 +159,28 @@ def _normalize_number(value: Any) -> Any:
     return (type(value).__name__, value)
 
 
+#: Public name of the scalar-normalization policy shared by ``=``, ``IN``,
+#: ``SUBSET OF``, ordered comparisons and DISTINCT deduplication.
+normalize_scalar = _normalize_number
+
+
+def distinct_key(value: Any) -> Any:
+    """The deduplication key DISTINCT aggregates use for *value*.
+
+    Scalars key through :func:`normalize_scalar`, so ``TRUE`` and ``1``
+    (whose Python hashes collide) stay distinct while ``1`` and ``1.0``
+    collapse. Value sets and lists key element-wise; anything else falls
+    back to its ``repr``.
+    """
+    if is_scalar(value):
+        return _normalize_number(value)
+    if isinstance(value, frozenset):
+        return frozenset(_normalize_number(v) for v in value)
+    if isinstance(value, tuple):
+        return ("tuple", tuple(distinct_key(v) for v in value))
+    return repr(value)
+
+
 def gcore_equals(left: Any, right: Any) -> bool:
     """The paper's ``=`` over literals and value sets.
 
@@ -177,6 +201,8 @@ def gcore_compare(op: str, left: Any, right: Any) -> bool:
     empty or multi-valued set are false (absence of a property is not an
     error, per Section 3). Mixed-type comparisons are false rather than
     raising, matching the tolerant behaviour of the paper's examples.
+    Booleans are *not* numbers here, mirroring :func:`normalize_scalar`:
+    ``TRUE < 2`` is false, never a 1-vs-2 comparison.
     """
     left_scalar = as_scalar(as_value_set(left)) if left is not None else None
     right_scalar = as_scalar(as_value_set(right)) if right is not None else None
@@ -184,8 +210,11 @@ def gcore_compare(op: str, left: Any, right: Any) -> bool:
         return False
     if left_scalar is None or right_scalar is None:
         return False
-    comparable_numbers = isinstance(left_scalar, (int, float)) and isinstance(
-        right_scalar, (int, float)
+    comparable_numbers = (
+        isinstance(left_scalar, (int, float))
+        and isinstance(right_scalar, (int, float))
+        and not isinstance(left_scalar, bool)
+        and not isinstance(right_scalar, bool)
     )
     same_type = type(left_scalar) is type(right_scalar)
     if not (comparable_numbers or same_type):

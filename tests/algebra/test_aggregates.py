@@ -8,6 +8,7 @@ from repro.algebra.aggregates import (
 )
 from repro.algebra.binding import Binding
 from repro.errors import EvaluationError
+from repro.model.values import Date
 
 
 def rows(*dicts):
@@ -112,3 +113,75 @@ class TestMisc:
     def test_argument_required(self):
         with pytest.raises(EvaluationError):
             evaluate_aggregate("sum", [], None)
+
+
+class TestDistinctNormalization:
+    """Regression: DISTINCT keys must follow the normalize_scalar policy."""
+
+    def arg(self, key):
+        return lambda row: row.get(key)
+
+    def test_true_and_one_stay_distinct(self):
+        # hash(True) == hash(1) made the raw-equality dedup key conflate
+        # them, so COUNT(DISTINCT x) over {1, TRUE} returned 1.
+        data = rows({"x": 1}, {"x": True})
+        assert evaluate_aggregate("count", data, self.arg("x"),
+                                  distinct=True) == 2
+
+    def test_false_and_zero_stay_distinct(self):
+        data = rows({"x": 0}, {"x": False})
+        assert evaluate_aggregate("count", data, self.arg("x"),
+                                  distinct=True) == 2
+
+    def test_int_float_still_collapse(self):
+        data = rows({"x": 1}, {"x": 1.0})
+        assert evaluate_aggregate("count", data, self.arg("x"),
+                                  distinct=True) == 1
+
+    def test_collect_distinct_keeps_first_occurrence(self):
+        data = rows({"x": 1}, {"x": True}, {"x": 1.0})
+        assert evaluate_aggregate("collect", data, self.arg("x"),
+                                  distinct=True) == (1, True)
+
+    def test_distinct_dates(self):
+        data = rows({"x": Date(2014, 1, 1)}, {"x": Date(2014, 1, 1)},
+                    {"x": Date(2015, 1, 1)})
+        assert evaluate_aggregate("count", data, self.arg("x"),
+                                  distinct=True) == 2
+
+
+class TestExtremumTypes:
+    """Regression: MIN/MAX over any single totally-ordered literal type."""
+
+    def arg(self, key):
+        return lambda row: row.get(key)
+
+    def test_min_max_dates(self):
+        # _extremum only knew numbers and strings; a uniformly
+        # Date-typed group raised "MIN/MAX over mixed-type values".
+        data = rows({"d": Date(2015, 6, 1)}, {"d": Date(2014, 12, 1)},
+                    {"d": Date(2016, 1, 31)})
+        assert evaluate_aggregate("min", data, self.arg("d")) == \
+            Date(2014, 12, 1)
+        assert evaluate_aggregate("max", data, self.arg("d")) == \
+            Date(2016, 1, 31)
+
+    def test_min_max_booleans(self):
+        data = rows({"b": True}, {"b": False})
+        assert evaluate_aggregate("min", data, self.arg("b")) is False
+        assert evaluate_aggregate("max", data, self.arg("b")) is True
+
+    def test_bool_among_numbers_is_mixed(self):
+        data = rows({"x": 1}, {"x": True})
+        with pytest.raises(EvaluationError):
+            evaluate_aggregate("min", data, self.arg("x"))
+
+    def test_date_among_numbers_is_mixed(self):
+        data = rows({"x": 1}, {"x": Date(2014, 1, 1)})
+        with pytest.raises(EvaluationError):
+            evaluate_aggregate("max", data, self.arg("x"))
+
+    def test_multivalued_group_has_no_order(self):
+        data = rows({"x": frozenset({1, 2})}, {"x": frozenset({3, 4})})
+        with pytest.raises(EvaluationError):
+            evaluate_aggregate("min", data, self.arg("x"))

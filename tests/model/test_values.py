@@ -8,6 +8,7 @@ from repro.model.values import (
     as_scalar,
     as_value_set,
     format_scalar,
+    distinct_key,
     format_value_set,
     gcore_compare,
     gcore_equals,
@@ -148,6 +149,20 @@ class TestComparison:
     def test_mixed_types_are_false(self):
         assert not gcore_compare("<", "a", 5)
 
+    def test_bool_is_not_a_number(self):
+        # Regression: isinstance(True, int) made TRUE < 2 compare 1 < 2.
+        # Booleans must follow the normalize_scalar policy (a class of
+        # their own), so bool-vs-number comparisons are false.
+        assert not gcore_compare("<", True, 2)
+        assert not gcore_compare("<=", False, 0)
+        assert not gcore_compare(">", 2, True)
+        assert not gcore_compare(">=", 1, True)
+        assert not gcore_compare("<", frozenset({True}), 2)
+
+    def test_bools_compare_with_bools(self):
+        assert gcore_compare("<", False, True)
+        assert gcore_compare(">=", True, True)
+
     def test_strings_compare(self):
         assert gcore_compare("<", "abc", "abd")
 
@@ -181,3 +196,28 @@ class TestTruthyAndFormat:
 
     def test_format_empty(self):
         assert format_value_set(EMPTY_SET) == "{}"
+
+
+class TestDistinctKey:
+    def test_bool_and_one_stay_distinct(self):
+        assert distinct_key(True) != distinct_key(1)
+        assert distinct_key(False) != distinct_key(0)
+
+    def test_int_float_collapse(self):
+        assert distinct_key(1) == distinct_key(1.0)
+
+    def test_value_sets_key_elementwise(self):
+        assert distinct_key(frozenset({1, 2})) == distinct_key(
+            frozenset({2.0, 1.0})
+        )
+        assert distinct_key(frozenset({1})) != distinct_key(
+            frozenset({True})
+        )
+
+    def test_lists_key_elementwise(self):
+        assert distinct_key((1, True)) != distinct_key((True, 1))
+        assert distinct_key((1,)) == distinct_key((1.0,))
+
+    def test_dates_key_by_value(self):
+        assert distinct_key(Date(2014, 1, 1)) == distinct_key(Date(2014, 1, 1))
+        assert distinct_key(Date(2014, 1, 1)) != distinct_key(Date(2014, 1, 2))
