@@ -31,19 +31,23 @@ Quickstart::
 from .engine import GCoreEngine
 from .errors import (
     CostError,
+    DeltaError,
     EvaluationError,
     GCoreError,
     GraphModelError,
     LexerError,
     ParseError,
     SemanticError,
+    StaleViewError,
     UnknownGraphError,
     UnknownPathViewError,
     UnknownTableError,
     ValidationError,
 )
 from .model.builder import GraphBuilder
+from .model.delta import GraphDelta, apply_delta
 from .model.graph import PathPropertyGraph
+from .model.schema import GraphSchema, snb_schema
 from .model.values import Date
 from .table import Table
 
@@ -52,6 +56,10 @@ __version__ = "1.0.0"
 __all__ = [
     "GCoreEngine",
     "GraphBuilder",
+    "GraphDelta",
+    "GraphSchema",
+    "apply_delta",
+    "snb_schema",
     "PathPropertyGraph",
     "Table",
     "Date",
@@ -62,6 +70,8 @@ __all__ = [
     "SemanticError",
     "EvaluationError",
     "CostError",
+    "DeltaError",
+    "StaleViewError",
     "UnknownGraphError",
     "UnknownTableError",
     "UnknownPathViewError",

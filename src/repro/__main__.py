@@ -5,6 +5,9 @@ the command line) and evaluates G-CORE statements read from stdin.
 Dot-commands:
 
   .graphs              list catalog graphs / views / tables
+  .views               list materialized views with freshness (a view is
+                       STALE when a base graph changed since it was
+                       materialized) and maintenance strategy
   .default <name>      set the default graph
   .show <name>         describe a graph
   .stats <name>        planner statistics of a graph (counts, degrees,
@@ -68,6 +71,24 @@ def handle_command(engine: GCoreEngine, line: str) -> bool:
         print("path views:",
               ", ".join(engine.catalog.path_view_names()) or "-")
         print("default:", engine.catalog.default_graph_name)
+    elif command == ".views":
+        names = engine.catalog.view_names()
+        if not names:
+            print("no materialized views")
+        for name in names:
+            from .eval.maintenance import analyze_view, describe_strategy
+
+            meta = engine.catalog.view_meta(name)
+            plan = meta.plan if meta is not None and meta.plan is not None else None
+            if plan is None:
+                plan = analyze_view(engine.catalog.view_query(name),
+                                    engine.catalog)
+            status = "STALE" if engine.catalog.is_view_stale(name) else "fresh"
+            graph = engine.graph(name)
+            print(
+                f"  {name}: {len(graph.nodes)} nodes, {len(graph.edges)} "
+                f"edges [{status}] maintenance={describe_strategy(plan)}"
+            )
     elif command == ".default" and argument:
         engine.set_default_graph(argument)
         print(f"default graph is now {argument}")

@@ -5,21 +5,33 @@ persistent views (``GRAPH VIEW``), and — with the Section 5 extensions —
 reference tables. The catalog is the engine-level registry for all of
 them. Tables referenced as graph locations are converted on demand into
 the "isolated-node graph" interpretation of Section 5 and cached.
+
+Since the mutation layer (:mod:`repro.model.delta`) the catalog also
+tracks *change history*: every base graph carries an **epoch** (bumped by
+each re-registration or applied delta) and a **changelog** of
+:class:`ChangeRecord` entries. Materialized views remember the epoch and
+graph object of each dependency at materialization time, which makes
+staleness detection (:meth:`Catalog.is_view_stale`) and incremental
+maintenance (:mod:`repro.eval.maintenance`) possible: a view whose
+dependencies only advanced through recorded deltas can be patched instead
+of recomputed.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import Dict, FrozenSet, List, NamedTuple, Optional, Set, TYPE_CHECKING
 
-from .errors import UnknownGraphError, UnknownTableError
+from .errors import SemanticError, UnknownGraphError, UnknownTableError
 from .model.builder import GraphBuilder
 from .model.graph import PathPropertyGraph
 from .table import Table
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .lang import ast
+    from .model.delta import DeltaEffects, GraphDelta
+    from .model.schema import GraphSchema
 
-__all__ = ["Catalog", "table_as_graph"]
+__all__ = ["Catalog", "ChangeRecord", "ViewMeta", "table_as_graph"]
 
 
 def table_as_graph(table: Table, name: str = "") -> PathPropertyGraph:
@@ -40,6 +52,45 @@ def table_as_graph(table: Table, name: str = "") -> PathPropertyGraph:
     return builder.build()
 
 
+class ChangeRecord(NamedTuple):
+    """One entry of a base graph's changelog.
+
+    ``kind`` is ``"delta"`` for an applied :class:`GraphDelta` (``delta``
+    and ``effects`` are set) or ``"replace"`` for a wholesale
+    re-registration (both are None — incremental maintenance cannot see
+    through a replacement). ``before``/``after`` pin the graph objects on
+    either side, letting maintenance verify changelog continuity by
+    identity.
+    """
+
+    epoch: int
+    kind: str
+    delta: Optional["GraphDelta"]
+    effects: Optional["DeltaEffects"]
+    before: Optional[PathPropertyGraph]
+    after: PathPropertyGraph
+
+
+class ViewMeta:
+    """Maintenance bookkeeping of one materialized GRAPH VIEW."""
+
+    __slots__ = ("deps", "snapshots", "plan", "state", "default_name")
+
+    def __init__(self, deps, snapshots, plan, state, default_name) -> None:
+        #: dependency name -> epoch at materialization time
+        self.deps: Dict[str, int] = deps
+        #: dependency name -> graph object at materialization time
+        self.snapshots: Dict[str, PathPropertyGraph] = snapshots
+        #: the static maintenance analysis (repro.eval.maintenance.ViewPlan)
+        self.plan = plan
+        #: incremental support counts (repro.eval.maintenance.ViewState)
+        self.state = state
+        #: the default-graph name at materialization time, when the query
+        #: has ON-less patterns (None otherwise) — moving the default
+        #: pointer changes such a view's meaning, so it counts as stale.
+        self.default_name: Optional[str] = default_name
+
+
 class Catalog:
     """Engine-level registry of graphs, views and tables."""
 
@@ -48,29 +99,159 @@ class Catalog:
         self._tables: Dict[str, Table] = {}
         self._views: Dict[str, "ast.Query"] = {}
         self._view_cache: Dict[str, PathPropertyGraph] = {}
+        self._view_meta: Dict[str, ViewMeta] = {}
         self._table_graph_cache: Dict[str, PathPropertyGraph] = {}
         self._path_views: Dict[str, "ast.PathClause"] = {}
+        self._schemas: Dict[str, "GraphSchema"] = {}
+        self._epochs: Dict[str, int] = {}
+        self._changelogs: Dict[str, List[ChangeRecord]] = {}
         self.default_graph_name: Optional[str] = None
 
     # ------------------------------------------------------------------
     def register_graph(
-        self, name: str, graph: PathPropertyGraph, default: bool = False
+        self,
+        name: str,
+        graph: PathPropertyGraph,
+        default: bool = False,
+        schema: Optional["GraphSchema"] = None,
     ) -> None:
-        """Register *graph* under *name*; optionally make it the default."""
-        self._graphs[name] = graph.with_name(name)
+        """Register *graph* under *name*; optionally make it the default.
+
+        Re-registering an existing name replaces the graph wholesale and
+        appends a ``"replace"`` changelog record — dependent views become
+        stale and can only be refreshed by full recomputation. An
+        optional *schema* is remembered and re-checked (scoped to the
+        touched objects) by every later :meth:`commit_update`.
+        """
+        if name in self._views:
+            raise SemanticError(
+                f"cannot register graph {name!r}: the name belongs to a "
+                f"GRAPH VIEW (refresh or drop the view instead)"
+            )
+        before = self._graphs.get(name)
+        named = graph.with_name(name)
+        self._graphs[name] = named
+        if schema is not None:
+            self._schemas[name] = schema
+        self._bump(name, "replace", None, None, before, named)
         if default or self.default_graph_name is None:
             self.default_graph_name = name
 
+    def commit_update(
+        self,
+        name: str,
+        graph: PathPropertyGraph,
+        delta: "GraphDelta",
+        effects: "DeltaEffects",
+    ) -> None:
+        """Install the result of an applied delta and record the change."""
+        before = self.base_graph(name)
+        named = graph.with_name(name)
+        self._graphs[name] = named
+        self._bump(name, "delta", delta, effects, before, named)
+
+    #: Per-graph changelog bound. Older records are dropped; a view whose
+    #: snapshot predates the retained window simply fails the continuity
+    #: check in repro.eval.maintenance and falls back to a full
+    #: recompute, so the cap trades only speed, never correctness.
+    CHANGELOG_LIMIT = 256
+
+    def _bump(self, name, kind, delta, effects, before, after) -> None:
+        epoch = self._epochs.get(name, 0) + 1
+        self._epochs[name] = epoch
+        self._changelogs.setdefault(name, []).append(
+            ChangeRecord(epoch, kind, delta, effects, before, after)
+        )
+        self._prune_changelog(name)
+
+    def _prune_changelog(self, name: str) -> None:
+        """Trim records no registered view can still consume.
+
+        Every record up to (and including) the oldest dependent view's
+        recorded epoch is already incorporated in that view's snapshot,
+        so it — and the pre-delta graph object it pins — can be freed.
+        Without dependents only the newest record is kept, and the hard
+        ``CHANGELOG_LIMIT`` bounds memory even under a never-refreshed
+        view (maintenance degrades to a full recompute past the window).
+        """
+        log = self._changelogs.get(name)
+        if not log:
+            return
+        needed = [
+            meta.deps[name]
+            for meta in self._view_meta.values()
+            if name in meta.deps
+        ]
+        floor = min(needed) if needed else log[-1].epoch - 1
+        start = 0
+        while start < len(log) and log[start].epoch <= floor:
+            start += 1
+        start = max(start, len(log) - self.CHANGELOG_LIMIT)
+        if start:
+            del log[:start]
+
     def register_table(self, name: str, table: Table) -> None:
         """Register a table for the Section 5 extensions."""
+        if name in self._views:
+            raise SemanticError(
+                f"cannot register table {name!r}: the name belongs to a "
+                f"GRAPH VIEW"
+            )
         self._tables[name] = table.with_name(name)
         self._table_graph_cache.pop(name, None)
+        self._epochs[name] = self._epochs.get(name, 0) + 1
 
-    def register_view(self, name: str, query: "ast.Query",
-                      materialized: PathPropertyGraph) -> None:
-        """Register a GRAPH VIEW with its defining query and current result."""
+    def register_view(
+        self,
+        name: str,
+        query: "ast.Query",
+        materialized: PathPropertyGraph,
+        plan=None,
+        state=None,
+    ) -> None:
+        """Register a GRAPH VIEW with its defining query and current result.
+
+        Re-registering an existing view replaces its materialization (the
+        refresh path); registering a view under a base graph's or table's
+        name raises — the catalog resolves base graphs first, so the view
+        would be silently shadowed otherwise. Dependency epochs and graph
+        snapshots are recorded for staleness detection and incremental
+        maintenance; *plan*/*state* carry the maintenance analysis and
+        support counts of :mod:`repro.eval.maintenance`.
+        """
+        if name in self._graphs or name in self._tables:
+            raise SemanticError(
+                f"cannot register view {name!r}: the name belongs to a "
+                f"{'graph' if name in self._graphs else 'table'}"
+            )
+        from .eval.maintenance import (  # cycle guard
+            query_uses_default,
+            view_dependencies,
+        )
+
         self._views[name] = query
         self._view_cache[name] = materialized.with_name(name)
+        deps: FrozenSet[str]
+        if plan is not None:
+            deps = frozenset(plan.deps)
+        else:
+            deps = view_dependencies(query, self)
+        self._view_meta[name] = ViewMeta(
+            deps={dep: self._epochs.get(dep, 0) for dep in deps},
+            snapshots={
+                dep: self.graph(dep) for dep in deps if self.has_graph(dep)
+            },
+            plan=plan,
+            state=state,
+            default_name=(
+                self.default_graph_name
+                if query_uses_default(query)
+                else None
+            ),
+        )
+        self._epochs[name] = self._epochs.get(name, 0) + 1
+        for dep in deps:
+            self._prune_changelog(dep)
 
     def register_path_view(self, name: str, clause: "ast.PathClause") -> None:
         """Register a persistent PATH view definition."""
@@ -83,6 +264,21 @@ class Catalog:
             or name in self._view_cache
             or name in self._tables
         )
+
+    def is_base_graph(self, name: str) -> bool:
+        """True iff *name* is a directly-registered (mutable) base graph."""
+        return name in self._graphs
+
+    def is_view(self, name: str) -> bool:
+        """True iff *name* is a registered GRAPH VIEW."""
+        return name in self._views
+
+    def base_graph(self, name: str) -> PathPropertyGraph:
+        """The base graph *name*; views and tables are rejected."""
+        try:
+            return self._graphs[name]
+        except KeyError:
+            raise UnknownGraphError(name) from None
 
     def graph(self, name: str) -> PathPropertyGraph:
         """Resolve *name* to a graph: base graph, view, or table-as-graph."""
@@ -104,11 +300,19 @@ class Catalog:
         except KeyError:
             raise UnknownTableError(name) from None
 
+    def schema(self, name: str) -> Optional["GraphSchema"]:
+        """The schema attached to base graph *name* (None if unconstrained)."""
+        return self._schemas.get(name)
+
     def path_view(self, name: str) -> Optional["ast.PathClause"]:
         return self._path_views.get(name)
 
     def view_query(self, name: str) -> Optional["ast.Query"]:
         return self._views.get(name)
+
+    def view_meta(self, name: str) -> Optional[ViewMeta]:
+        """Maintenance bookkeeping of view *name* (None when not a view)."""
+        return self._view_meta.get(name)
 
     def default_graph(self) -> Optional[PathPropertyGraph]:
         if self.default_graph_name is None:
@@ -116,9 +320,51 @@ class Catalog:
         return self.graph(self.default_graph_name)
 
     # ------------------------------------------------------------------
+    # Change tracking
+    # ------------------------------------------------------------------
+    def epoch(self, name: str) -> int:
+        """The change epoch of *name* (0 for never-changed/unknown)."""
+        return self._epochs.get(name, 0)
+
+    def changelog(self, name: str) -> List[ChangeRecord]:
+        """The recorded change history of base graph *name* (oldest first)."""
+        return list(self._changelogs.get(name, ()))
+
+    def is_view_stale(self, name: str) -> bool:
+        """Did any (transitive) dependency of view *name* change since its
+        materialization? Non-views are never stale."""
+        return self._stale(name, set())
+
+    def _stale(self, name: str, visiting: Set[str]) -> bool:
+        meta = self._view_meta.get(name)
+        if meta is None or name in visiting:
+            return False
+        visiting.add(name)
+        if (
+            meta.default_name is not None
+            and self.default_graph_name != meta.default_name
+        ):
+            return True  # ON-less patterns now resolve elsewhere
+        for dep, epoch in meta.deps.items():
+            if self._epochs.get(dep, 0) != epoch:
+                return True
+            if self._stale(dep, visiting):
+                return True
+        return False
+
+    def stale_views(self) -> List[str]:
+        """All registered views whose dependencies have changed."""
+        return [name for name in sorted(self._views)
+                if self.is_view_stale(name)]
+
+    # ------------------------------------------------------------------
     def graph_names(self):
         """All resolvable graph names (base graphs and views)."""
         return sorted(set(self._graphs) | set(self._view_cache))
+
+    def view_names(self):
+        """All registered GRAPH VIEW names."""
+        return sorted(self._views)
 
     def table_names(self):
         return sorted(self._tables)

@@ -36,6 +36,15 @@ whose meaning just changed. Per-graph atom orderings inside a
 :class:`PreparedQuery` are additionally keyed by graph object identity,
 so a ``PreparedQuery`` held across an invalidation still executes
 correctly; only its memoized plans go cold.
+
+Graphs mutate through **deltas**: ``apply_update(name, delta)`` applies a
+:class:`~repro.model.delta.GraphDelta` (node/edge/label/property inserts
+and removals), validates it against the entry's schema, records it on the
+entry's changelog, and adjusts the graph's planner statistics in
+O(|delta|). Deltas keep prepared queries hot (only plans against the
+superseded graph object are purged) and make dependent ``GRAPH VIEW``
+materializations *incrementally* refreshable — see
+:meth:`GCoreEngine.refresh_view` and :mod:`repro.eval.maintenance`.
 """
 
 from __future__ import annotations
@@ -44,7 +53,7 @@ from collections import OrderedDict
 from typing import Dict, List, Optional, Set, Union
 
 from .catalog import Catalog
-from .errors import EvaluationError, SemanticError
+from .errors import EvaluationError, StaleViewError, UnknownGraphError
 from .eval.context import EvalContext, IdFactory
 from .eval.match import evaluate_match
 from .eval.planner import PlanCache
@@ -52,6 +61,7 @@ from .eval.query import QueryResult, ViewResult, evaluate_statement
 from .lang import ast
 from .lang.lexer import tokenize
 from .lang.parser import Parser
+from .model.delta import GraphDelta, apply_delta
 from .model.graph import PathPropertyGraph
 from .table import Table
 from .algebra.binding import BindingTable
@@ -136,11 +146,65 @@ class GCoreEngine:
     # Catalog management
     # ------------------------------------------------------------------
     def register_graph(
-        self, name: str, graph: PathPropertyGraph, default: bool = False
+        self,
+        name: str,
+        graph: PathPropertyGraph,
+        default: bool = False,
+        schema=None,
     ) -> None:
-        """Register *graph* under *name*; the first graph becomes default."""
-        self.catalog.register_graph(name, graph, default=default)
+        """Register *graph* under *name*; the first graph becomes default.
+
+        Re-registering an existing name replaces the graph wholesale:
+        dependent materialized views become **stale** (visible through
+        :meth:`get_graph`, :meth:`stale_views` and the REPL ``.views``
+        command) until :meth:`refresh_view` recomputes them. An optional
+        *schema* (:class:`~repro.model.schema.GraphSchema`) is attached
+        to the catalog entry and enforced by :meth:`apply_update`.
+        """
+        self.catalog.register_graph(name, graph, default=default, schema=schema)
         self.clear_plan_cache()
+
+    def apply_update(
+        self,
+        graph: Union[str, PathPropertyGraph],
+        delta: GraphDelta,
+        schema=None,
+    ) -> PathPropertyGraph:
+        """Apply a :class:`~repro.model.delta.GraphDelta` to a base graph.
+
+        *graph* is a catalog name (or a registered graph whose ``name``
+        resolves in the catalog). The delta is validated structurally
+        (:func:`~repro.model.delta.apply_delta`) and — when the entry
+        carries a schema, or *schema* is passed explicitly — the added
+        and modified objects are re-checked against it. The resulting
+        graph replaces the catalog entry and the change is recorded on
+        the entry's changelog, which is what lets dependent views refresh
+        incrementally (:meth:`refresh_view`) instead of recomputing.
+
+        Consistency hooks, in order: the new graph inherits the old
+        one's :class:`~repro.model.statistics.GraphStatistics` adjusted
+        in O(|delta|) (no O(N + E) rebuild); prepared queries stay
+        cached, but their memoized atom orderings against the superseded
+        graph object are purged (plans re-resolve against the new graph
+        on the next execution). Returns the new graph.
+        """
+        name = graph if isinstance(graph, str) else graph.name
+        base = self.catalog.base_graph(name)
+        new_graph, effects = apply_delta(base, delta)
+        active_schema = schema if schema is not None else self.catalog.schema(name)
+        if active_schema is not None:
+            active_schema.validate_objects(
+                new_graph, effects.validation_targets(new_graph)
+            )
+        cached_stats = base.cached_statistics()
+        if cached_stats is not None:
+            new_graph.adopt_statistics(
+                cached_stats.apply_delta(base, new_graph, effects)
+            )
+        self.catalog.commit_update(name, new_graph, delta, effects)
+        for prepared in self._prepared.values():
+            prepared.plans.purge_graph(base)
+        return new_graph
 
     def register_table(self, name: str, table: Table) -> None:
         """Register a table for the Section 5 tabular extensions."""
@@ -164,8 +228,33 @@ class GCoreEngine:
         return clause.name
 
     def graph(self, name: str) -> PathPropertyGraph:
-        """Look up a registered graph or materialized view by name."""
+        """Look up a registered graph or materialized view by name.
+
+        Lenient: a stale view returns its last materialization. Use
+        :meth:`get_graph` when staleness must not go unnoticed.
+        """
         return self.catalog.graph(name)
+
+    def get_graph(
+        self, name: str, allow_stale: bool = False
+    ) -> PathPropertyGraph:
+        """The strict graph accessor: stale views are surfaced, not served.
+
+        Raises :class:`~repro.errors.StaleViewError` when *name* is a
+        materialized view whose base graphs changed (re-registration or
+        :meth:`apply_update`) since its materialization — call
+        :meth:`refresh_view` first, or pass ``allow_stale=True`` to read
+        the old materialization deliberately. Unknown names raise
+        :class:`~repro.errors.UnknownGraphError` as usual.
+        """
+        graph = self.catalog.graph(name)
+        if not allow_stale and self.catalog.is_view_stale(name):
+            raise StaleViewError(name)
+        return graph
+
+    def stale_views(self) -> List[str]:
+        """Views whose dependencies changed since materialization."""
+        return self.catalog.stale_views()
 
     def table(self, name: str) -> Table:
         """Look up a registered table by name."""
@@ -173,32 +262,34 @@ class GCoreEngine:
 
     def set_default_graph(self, name: str) -> None:
         if not self.catalog.has_graph(name):
-            from .errors import UnknownGraphError
-
             raise UnknownGraphError(name)
         self.catalog.default_graph_name = name
         self.clear_plan_cache()
 
-    def refresh_view(self, name: str) -> PathPropertyGraph:
-        """Re-evaluate a GRAPH VIEW against the current base graphs.
+    def refresh_view(
+        self, name: str, incremental: bool = True
+    ) -> PathPropertyGraph:
+        """Bring a GRAPH VIEW up to date with its base graphs.
 
-        Views materialize at definition time; after re-registering a base
-        graph, call this to bring the view up to date. Returns the new
-        materialization.
+        Maintenance is **incremental** whenever possible: if the view's
+        query is delta-eligible (single conjunctive MATCH over one base
+        graph, identity CONSTRUCT — see :mod:`repro.eval.maintenance`)
+        and every base-graph change since the last materialization was an
+        :meth:`apply_update` delta, the materialization is *patched* from
+        the changelog at a cost proportional to the deltas. Anything else
+        — path atoms, aggregates, OPTIONAL, a wholesale
+        ``register_graph`` replacement — falls back to from-scratch
+        recomputation, which ``incremental=False`` also forces (the
+        reference oracle the property suite compares against). A view
+        whose dependencies did not change is returned as-is. Returns the
+        current materialization.
         """
-        query = self.catalog.view_query(name)
-        if query is None:
-            from .errors import UnknownGraphError
-
-            raise UnknownGraphError(name)
-        from .eval.query import evaluate_query
+        from .eval.maintenance import refresh_view as run_refresh
 
         ctx = EvalContext(self.catalog, self._ids)
-        result = evaluate_query(query, ctx)
-        if not isinstance(result, PathPropertyGraph):
-            raise SemanticError(f"view {name!r} did not produce a graph")
-        self.catalog.register_view(name, query, result)
-        self.clear_plan_cache()
+        result, strategy = run_refresh(name, ctx, incremental=incremental)
+        if strategy != "unchanged":
+            self.clear_plan_cache()
         return result.with_name(name)
 
     # ------------------------------------------------------------------
@@ -350,6 +441,13 @@ class GCoreEngine:
             query = statement
         cached = "cached" if self.is_plan_cached(text) else "cold"
         lines: List[str] = [f"plan: {cached}"]
+        if isinstance(statement, ast.GraphViewStmt):
+            from .eval.maintenance import analyze_view, describe_strategy
+
+            plan = analyze_view(statement.query, self.catalog)
+            lines.append(
+                f"view maintenance: {describe_strategy(plan)}"
+            )
         # Execution always runs with every $param bound (PreparedQuery
         # rejects missing ones before evaluating), so the pushdown
         # totality analysis must see the parameters as present — else

@@ -90,3 +90,29 @@ class CostError(EvaluationError):
 
 class ValidationError(GCoreError):
     """Raised when schema validation of a graph fails."""
+
+
+class DeltaError(GCoreError):
+    """Raised when a :class:`~repro.model.delta.GraphDelta` operation is
+    invalid against the graph it is applied to.
+
+    Examples: adding a node under an identifier that already exists,
+    adding an edge whose endpoints are not nodes, or removing an unknown
+    object.
+    """
+
+
+class StaleViewError(GCoreError):
+    """Raised by the strict accessor :meth:`GCoreEngine.get_graph` when a
+    materialized view's base graphs changed since it was materialized.
+
+    Call :meth:`GCoreEngine.refresh_view` to bring the view up to date,
+    or pass ``allow_stale=True`` to read the old materialization anyway.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(
+            f"view {name!r} is stale (a base graph changed since "
+            f"materialization); refresh_view({name!r}) brings it up to date"
+        )
+        self.name = name

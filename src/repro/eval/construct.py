@@ -44,7 +44,7 @@ from ..paths.walk import AllPathsHandle, Walk
 from .context import EvalContext
 from .expressions import ExpressionEvaluator
 
-__all__ = ["evaluate_construct"]
+__all__ = ["evaluate_construct", "identity_item_spec"]
 
 
 class _PieceGraph:
@@ -717,6 +717,68 @@ def _construct_path(
             ctx.overlay_labels[pid] = frozenset(labels)
             ctx.overlay_props[pid] = dict(props)
     return record
+
+
+# ---------------------------------------------------------------------------
+# Identity-projection analysis (incremental view maintenance)
+# ---------------------------------------------------------------------------
+
+def identity_item_spec(
+    item: ast.PatternItem,
+    match_node_vars: FrozenSet[str],
+    match_edge_orientations: Dict[str, Tuple[str, str]],
+) -> Optional[Tuple[Tuple[str, ...], Tuple[str, ...]]]:
+    """The ``(node_vars, edge_vars)`` of a *pure identity* construct item.
+
+    A pure identity item re-emits matched objects unchanged: every node
+    pattern is a bound match node variable and every edge pattern a bound
+    match edge variable between the same (orientation-resolved) endpoint
+    variables — no labels, property tests/binds/assignments, copies,
+    GROUP, WHEN, SET or REMOVE. For such items the constructed graph is
+    exactly the union of the bound objects with their base-graph labels
+    and properties, which is what lets
+    :mod:`repro.eval.maintenance` patch a materialized view by support
+    counting instead of re-running CONSTRUCT. Returns None when the item
+    is anything richer (the full evaluator remains the only correct
+    interpretation).
+    """
+    if item.when is not None or item.sets or item.removes:
+        return None
+
+    def plain(pattern) -> bool:
+        return not (
+            pattern.labels
+            or pattern.prop_tests
+            or pattern.prop_binds
+            or pattern.copy_of is not None
+            or pattern.group is not None
+            or pattern.assignments
+        )
+
+    node_vars: List[str] = []
+    for element in item.chain.nodes():
+        if element.var is None or element.var not in match_node_vars:
+            return None
+        if not plain(element):
+            return None
+        node_vars.append(element.var)
+    edge_vars: List[str] = []
+    connectors = item.chain.connectors()
+    for index, connector in enumerate(connectors):
+        if not isinstance(connector, ast.EdgePattern):
+            return None
+        if connector.var is None or not plain(connector):
+            return None
+        if connector.direction == ast.OUT:
+            endpoints = (node_vars[index], node_vars[index + 1])
+        elif connector.direction == ast.IN:
+            endpoints = (node_vars[index + 1], node_vars[index])
+        else:
+            return None
+        if match_edge_orientations.get(connector.var) != endpoints:
+            return None
+        edge_vars.append(connector.var)
+    return tuple(node_vars), tuple(edge_vars)
 
 
 def _project_members(

@@ -92,6 +92,13 @@ class EvalContext:
         # Memoized atom orderings, installed by PreparedQuery executions
         # (see repro.eval.planner.PlanCache); None = plan every block.
         self.plan_cache = None
+        # When a list, the top-level BasicQuery appends its MATCH binding
+        # table here before the head clause consumes it. View
+        # registration uses this to capture the Omega that seeds the
+        # incremental-maintenance support counts (repro.eval.maintenance)
+        # without evaluating the MATCH twice. Deliberately NOT inherited
+        # by child contexts: subquery tables are not the view's Omega.
+        self.omega_sink = None
         # Overlay for objects under construction (WHEN conditions can read
         # the properties of elements the CONSTRUCT is creating).
         self.overlay_labels: Dict[ObjectId, FrozenSet[str]] = {}

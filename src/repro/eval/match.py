@@ -48,6 +48,7 @@ __all__ = [
     "evaluate_block",
     "chain_matches",
     "decompose_chain",
+    "match_rows_touching",
     "NodeAtom",
     "EdgeAtom",
     "PathAtom",
@@ -1289,6 +1290,38 @@ def evaluate_match(
         extended = evaluate_block(optional, ctx, seed=table)
         table = table_left_join(table, extended)
     return table
+
+
+def match_rows_touching(
+    block: ast.MatchBlock,
+    ctx: EvalContext,
+    node_vars: Iterable[str],
+    touched_nodes: Iterable[ObjectId],
+) -> BindingTable:
+    """The binding rows of *block* that bind a touched node — the
+    join-delta primitive of incremental view maintenance.
+
+    For each node variable the block is re-evaluated *seeded* with that
+    variable pre-bound to every touched node: the planner sees the
+    variable as bound, so the evaluation hash-joins outward from the
+    touched objects instead of scanning the graph, and the result is
+    exactly the selection sigma_{var in touched}(Omega). The union over
+    all node variables (deduplicated — binding tables are sets) is every
+    row of the full binding table that binds at least one touched node.
+    For delta-eligible blocks (every chain node named, no path atoms;
+    see :mod:`repro.eval.maintenance`) this is precisely the set of rows
+    a graph delta with the given touched-node closure can have added or
+    removed, at a cost proportional to the delta instead of the graph.
+    """
+    from ..algebra.ops import table_union  # local import: cycle via ops
+
+    seeds = _sorted_ids(touched_nodes)
+    result: Optional[BindingTable] = None
+    for var in dict.fromkeys(node_vars):
+        seed = BindingTable((var,), [Binding({var: node}) for node in seeds])
+        table = evaluate_block(block, ctx, seed=seed)
+        result = table if result is None else table_union(result, table)
+    return result if result is not None else BindingTable.unit()
 
 
 def chain_matches(chain: ast.Chain, ctx: EvalContext, row: Binding) -> bool:

@@ -362,5 +362,23 @@ class PlanCache:
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
 
+    def purge_graph(self, graph) -> int:
+        """Drop every ordering memoized against *graph* (by identity).
+
+        Called when a graph delta replaces a catalog entry: the prepared
+        queries themselves stay hot (parse and AST survive — names
+        re-resolve to the new graph at execution), only the orderings
+        planned against the superseded graph object are evicted. Returns
+        the number of dropped entries.
+        """
+        doomed = [
+            key
+            for key, (_, entry_graph, _) in self._entries.items()
+            if entry_graph is graph
+        ]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
     def clear(self) -> None:
         self._entries.clear()

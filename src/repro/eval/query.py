@@ -38,12 +38,24 @@ QueryResult = Union[PathPropertyGraph, Table, ViewResult]
 
 
 def evaluate_statement(statement: ast.Statement, ctx: EvalContext) -> QueryResult:
-    """Evaluate a statement: a query, or a GRAPH VIEW registration."""
+    """Evaluate a statement: a query, or a GRAPH VIEW registration.
+
+    View registration runs the maintenance analysis
+    (:func:`repro.eval.maintenance.analyze_view`): incrementally
+    maintainable views capture their MATCH binding table through
+    ``ctx.omega_sink`` and store support counts alongside the
+    materialization, so later deltas on the base graph refresh the view
+    by patching instead of recomputing.
+    """
     if isinstance(statement, ast.GraphViewStmt):
-        result = evaluate_query(statement.query, ctx)
-        if not isinstance(result, PathPropertyGraph):
-            raise SemanticError("a GRAPH VIEW must be defined by a graph query")
-        ctx.catalog.register_view(statement.name, statement.query, result)
+        from .maintenance import materialize_view  # cycle guard
+
+        result = materialize_view(
+            statement.name,
+            statement.query,
+            ctx,
+            error="a GRAPH VIEW must be defined by a graph query",
+        )
         return ViewResult(statement.name, result.with_name(statement.name))
     return evaluate_query(statement, ctx)
 
@@ -127,6 +139,12 @@ def _evaluate_basic(
     else:
         declared = frozenset()
         omega = BindingTable.unit()
+
+    if ctx.omega_sink is not None:
+        # View registration captures the top-level MATCH table for the
+        # incremental-maintenance support counts (subqueries run in child
+        # contexts, whose sink is always None).
+        ctx.omega_sink.append(omega)
 
     if isinstance(basic.head, ast.SelectClause):
         return evaluate_select(basic.head, omega, ctx)

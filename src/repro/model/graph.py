@@ -426,6 +426,26 @@ class PathPropertyGraph:
             self._statistics = GraphStatistics(self)
         return self._statistics
 
+    def cached_statistics(self):
+        """The statistics if already computed, else None (no side effect).
+
+        The delta layer uses this to decide whether incremental
+        statistics adjustment is worthwhile: a graph that never computed
+        statistics keeps its lazy slot empty and pays the full build only
+        if the planner ever asks.
+        """
+        return self._statistics
+
+    def adopt_statistics(self, statistics) -> None:
+        """Install precomputed statistics (the incremental-adjustment hook).
+
+        Caller contract: *statistics* must describe exactly this graph —
+        :meth:`GraphStatistics.apply_delta
+        <repro.model.statistics.GraphStatistics.apply_delta>` results
+        only.
+        """
+        self._statistics = statistics
+
     # ------------------------------------------------------------------
     # Whole-graph views
     # ------------------------------------------------------------------

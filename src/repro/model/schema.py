@@ -48,6 +48,54 @@ class GraphSchema:
         return frozenset(self.edge_types)
 
     # ------------------------------------------------------------------
+    def _node_problems(self, graph: PathPropertyGraph, node) -> List[str]:
+        problems: List[str] = []
+        labels = graph.labels(node) & self.node_labels()
+        if not labels:
+            problems.append(f"node {node!r} has no declared label: "
+                            f"{sorted(graph.labels(node))}")
+            return problems
+        allowed: Set[str] = set()
+        for label in labels:
+            allowed |= self.node_properties[label]
+        for key in graph.properties(node):
+            if key not in allowed:
+                problems.append(
+                    f"node {node!r} ({sorted(labels)}) has undeclared "
+                    f"property {key!r}"
+                )
+        return problems
+
+    def _edge_problems(self, graph: PathPropertyGraph, edge) -> List[str]:
+        problems: List[str] = []
+        labels = graph.labels(edge) & self.edge_labels()
+        if not labels:
+            problems.append(f"edge {edge!r} has no declared label: "
+                            f"{sorted(graph.labels(edge))}")
+            return problems
+        src, dst = graph.endpoints(edge)
+        src_labels = graph.labels(src)
+        dst_labels = graph.labels(dst)
+        for label in labels:
+            edge_type = self.edge_types[label]
+            ok = any(
+                s in src_labels and t in dst_labels
+                for s, t in edge_type.connections
+            )
+            if not ok:
+                problems.append(
+                    f"edge {edge!r}:{label} connects "
+                    f"{sorted(src_labels)} -> {sorted(dst_labels)}, "
+                    f"not allowed by schema"
+                )
+            for key in graph.properties(edge):
+                if key not in edge_type.properties:
+                    problems.append(
+                        f"edge {edge!r}:{label} has undeclared "
+                        f"property {key!r}"
+                    )
+        return problems
+
     def validate(self, graph: PathPropertyGraph, strict: bool = True) -> List[str]:
         """Check *graph* against the schema.
 
@@ -58,47 +106,35 @@ class GraphSchema:
         """
         problems: List[str] = []
         for node in graph.nodes:
-            labels = graph.labels(node) & self.node_labels()
-            if not labels:
-                problems.append(f"node {node!r} has no declared label: "
-                                f"{sorted(graph.labels(node))}")
-                continue
-            allowed: Set[str] = set()
-            for label in labels:
-                allowed |= self.node_properties[label]
-            for key in graph.properties(node):
-                if key not in allowed:
-                    problems.append(
-                        f"node {node!r} ({sorted(labels)}) has undeclared "
-                        f"property {key!r}"
-                    )
+            problems.extend(self._node_problems(graph, node))
         for edge in graph.edges:
-            labels = graph.labels(edge) & self.edge_labels()
-            if not labels:
-                problems.append(f"edge {edge!r} has no declared label: "
-                                f"{sorted(graph.labels(edge))}")
-                continue
-            src, dst = graph.endpoints(edge)
-            src_labels = graph.labels(src)
-            dst_labels = graph.labels(dst)
-            for label in labels:
-                edge_type = self.edge_types[label]
-                ok = any(
-                    s in src_labels and t in dst_labels
-                    for s, t in edge_type.connections
-                )
-                if not ok:
-                    problems.append(
-                        f"edge {edge!r}:{label} connects "
-                        f"{sorted(src_labels)} -> {sorted(dst_labels)}, "
-                        f"not allowed by schema"
-                    )
-                for key in graph.properties(edge):
-                    if key not in edge_type.properties:
-                        problems.append(
-                            f"edge {edge!r}:{label} has undeclared "
-                            f"property {key!r}"
-                        )
+            problems.extend(self._edge_problems(graph, edge))
+        if strict and problems:
+            raise ValidationError("; ".join(problems))
+        return problems
+
+    def validate_objects(
+        self,
+        graph: PathPropertyGraph,
+        objects,
+        strict: bool = True,
+    ) -> List[str]:
+        """Check only *objects* of *graph* against the schema.
+
+        The scoped counterpart of :meth:`validate` used by
+        :meth:`GCoreEngine.apply_update <repro.engine.GCoreEngine.apply_update>`:
+        after a :class:`~repro.model.delta.GraphDelta` only the added and
+        modified objects need re-checking, keeping validation O(|delta|)
+        instead of O(N + E) per update. Identifiers not present in the
+        graph (e.g. removed by the same delta) are skipped; stored paths
+        are not constrained by schemas.
+        """
+        problems: List[str] = []
+        for obj in sorted(objects, key=str):
+            if obj in graph.nodes:
+                problems.extend(self._node_problems(graph, obj))
+            elif obj in graph.edges:
+                problems.extend(self._edge_problems(graph, obj))
         if strict and problems:
             raise ValidationError("; ".join(problems))
         return problems

@@ -102,6 +102,91 @@ class GraphStatistics:
         }
 
     # ------------------------------------------------------------------
+    # Incremental adjustment (graph deltas)
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self,
+        old_graph: "PathPropertyGraph",
+        new_graph: "PathPropertyGraph",
+        effects,
+    ) -> "GraphStatistics":
+        """Statistics for *new_graph*, adjusted from these in O(|delta|).
+
+        ``effects`` is the :class:`~repro.model.delta.DeltaEffects` of the
+        applied update. Totals and per-label counts are adjusted
+        *exactly* by diffing only the touched objects between the two
+        graphs. The distinct-endpoint counts behind :meth:`fan_out` /
+        :meth:`label_reach_fraction` are scaled proportionally (clamped
+        to the label count and node total), and property selectivities
+        are carried over unchanged — both are planner estimates whose
+        drift under small deltas is negligible compared to an O(N + E)
+        rebuild per update.
+        """
+        stats = GraphStatistics.__new__(GraphStatistics)
+        stats.node_count = len(new_graph.nodes)
+        stats.edge_count = len(new_graph.edges)
+        stats.path_count = len(new_graph.paths)
+
+        node_labels = dict(self.node_label_counts)
+        edge_labels = dict(self.edge_label_counts)
+        path_labels = dict(self.path_label_counts)
+
+        def adjust(counts: Dict[str, int], labels, amount: int) -> None:
+            for label in labels:
+                updated = counts.get(label, 0) + amount
+                if updated > 0:
+                    counts[label] = updated
+                else:
+                    counts.pop(label, None)
+
+        for node in effects.removed_nodes:
+            adjust(node_labels, old_graph.labels(node), -1)
+        for node in effects.added_nodes:
+            adjust(node_labels, new_graph.labels(node), +1)
+        for edge in effects.removed_edges:
+            adjust(edge_labels, old_graph.labels(edge), -1)
+        for edge in effects.added_edges:
+            adjust(edge_labels, new_graph.labels(edge), +1)
+        for pid in effects.removed_paths:
+            adjust(path_labels, old_graph.labels(pid), -1)
+        for obj in effects.modified:
+            if obj in new_graph.nodes:
+                counts = node_labels
+            elif obj in new_graph.edges:
+                counts = edge_labels
+            else:
+                counts = path_labels
+            before = old_graph.labels(obj) if obj in old_graph else frozenset()
+            after = new_graph.labels(obj)
+            adjust(counts, before - after, -1)
+            adjust(counts, after - before, +1)
+        stats.node_label_counts = node_labels
+        stats.edge_label_counts = edge_labels
+        stats.path_label_counts = path_labels
+
+        sources: Dict[str, int] = {}
+        targets: Dict[str, int] = {}
+        for label, count in edge_labels.items():
+            old_count = self.edge_label_counts.get(label, 0)
+            for table, store in (
+                (self.edge_label_sources, sources),
+                (self.edge_label_targets, targets),
+            ):
+                old_distinct = table.get(label, 0)
+                if old_count:
+                    estimate = round(old_distinct * count / old_count)
+                else:
+                    estimate = count  # a fresh label: assume distinct ends
+                store[label] = max(1, min(estimate, count, stats.node_count))
+        stats.edge_label_sources = sources
+        stats.edge_label_targets = targets
+
+        stats._node_prop_sel = self._node_prop_sel
+        stats._edge_prop_sel = self._edge_prop_sel
+        stats._path_prop_sel = self._path_prop_sel
+        return stats
+
+    # ------------------------------------------------------------------
     # Label counts
     # ------------------------------------------------------------------
     def node_label_count(self, label: str) -> int:

@@ -1,0 +1,195 @@
+"""GraphDelta: the mutation layer (validation, cascades, effects, stats)."""
+
+import pytest
+
+from repro import GraphBuilder, GraphDelta, apply_delta
+from repro.errors import DeltaError, ValidationError
+from repro.model.schema import snb_schema
+from repro.model.statistics import GraphStatistics
+
+
+def small_graph():
+    b = GraphBuilder(name="g")
+    for n in ("a", "b", "c"):
+        b.add_node(n, labels=["Person"], properties={"score": 1})
+    b.add_edge("a", "b", edge_id="ab", labels=["knows"], properties={"since": 2020})
+    b.add_edge("b", "c", edge_id="bc", labels=["knows"])
+    b.add_path(["a", "ab", "b", "bc", "c"], path_id="p1", labels=["trail"])
+    return b.build()
+
+
+class TestApply:
+    def test_add_node_and_edge(self):
+        g, effects = apply_delta(
+            small_graph(),
+            GraphDelta()
+            .add_node("d", labels=["Person"], properties={"score": 9})
+            .add_edge("cd", "c", "d", labels=["knows"]),
+        )
+        assert "d" in g.nodes and "cd" in g.edges
+        assert g.endpoints("cd") == ("c", "d")
+        assert g.labels("d") == frozenset({"Person"})
+        assert g.property("d", "score") == frozenset({9})
+        assert effects.added_nodes == {"d"}
+        assert effects.added_edges == {"cd": ("c", "d")}
+        # the input graph is untouched (immutability)
+        assert "d" not in small_graph().nodes
+
+    def test_remove_node_cascades(self):
+        g, effects = apply_delta(small_graph(), GraphDelta().remove_node("b"))
+        assert g.nodes == frozenset({"a", "c"})
+        assert not g.edges and not g.paths
+        assert effects.removed_nodes == {"b"}
+        assert set(effects.removed_edges) == {"ab", "bc"}
+        assert effects.removed_paths == {"p1"}
+
+    def test_remove_edge_cascades_to_paths(self):
+        g, effects = apply_delta(small_graph(), GraphDelta().remove_edge("bc"))
+        assert "bc" not in g.edges and "ab" in g.edges
+        assert not g.paths
+        assert effects.removed_paths == {"p1"}
+
+    def test_label_and_property_ops(self):
+        g, effects = apply_delta(
+            small_graph(),
+            GraphDelta()
+            .add_label("a", "Manager")
+            .remove_label("c", "Person")
+            .set_property("a", "score", [1, 2])
+            .remove_property("b", "score")
+            .set_property("ab", "since", None),
+        )
+        assert g.labels("a") == frozenset({"Person", "Manager"})
+        assert g.labels("c") == frozenset()
+        assert g.property("a", "score") == frozenset({1, 2})
+        assert g.property("b", "score") == frozenset()
+        assert g.property("ab", "since") == frozenset()
+        assert effects.modified == {"a", "b", "c", "ab"}
+
+    def test_touched_nodes_close_over_edge_endpoints(self):
+        _, effects = apply_delta(
+            small_graph(), GraphDelta().set_property("bc", "w", 3)
+        )
+        assert effects.touched == frozenset({"bc"})
+        assert effects.touched_nodes == frozenset({"b", "c"})
+        _, effects = apply_delta(small_graph(), GraphDelta().remove_edge("ab"))
+        assert {"a", "b"} <= set(effects.touched_nodes)
+
+    def test_add_then_remove_in_same_delta_nets_out(self):
+        g, effects = apply_delta(
+            small_graph(),
+            GraphDelta().add_node("tmp").remove_node("tmp"),
+        )
+        assert "tmp" not in g.nodes
+        assert not effects.added_nodes and not effects.removed_nodes
+
+    def test_result_satisfies_invariants(self):
+        g, _ = apply_delta(
+            small_graph(),
+            GraphDelta().remove_node("a").add_node("d").add_edge("cd", "c", "d"),
+        )
+        # re-validating must not raise
+        type(g)(
+            nodes=g.nodes, edges=dict(g.rho), paths=dict(g.delta),
+            labels=g.label_map(), properties=g.property_map(),
+        )
+
+
+class TestValidation:
+    def test_add_existing_identifier(self):
+        with pytest.raises(DeltaError):
+            apply_delta(small_graph(), GraphDelta().add_node("a"))
+        with pytest.raises(DeltaError):
+            apply_delta(small_graph(), GraphDelta().add_node("ab"))
+        with pytest.raises(DeltaError):
+            apply_delta(small_graph(), GraphDelta().add_edge("p1", "a", "b"))
+
+    def test_dangling_edge_rejected(self):
+        with pytest.raises(DeltaError):
+            apply_delta(small_graph(), GraphDelta().add_edge("ax", "a", "zz"))
+
+    def test_unknown_targets(self):
+        for delta in (
+            GraphDelta().remove_node("zz"),
+            GraphDelta().remove_edge("zz"),
+            GraphDelta().add_label("zz", "L"),
+            GraphDelta().remove_label("zz", "L"),
+            GraphDelta().set_property("zz", "k", 1),
+            GraphDelta().remove_property("zz", "k"),
+        ):
+            with pytest.raises(DeltaError):
+                apply_delta(small_graph(), delta)
+
+    def test_edge_usable_after_add_in_same_delta(self):
+        g, _ = apply_delta(
+            small_graph(), GraphDelta().add_node("d").add_edge("ad", "a", "d")
+        )
+        assert g.endpoints("ad") == ("a", "d")
+
+    def test_repr_and_len(self):
+        delta = GraphDelta().add_node("x").remove_node("x")
+        assert len(delta) == 2 and bool(delta)
+        assert "add_node" in repr(delta)
+        assert not GraphDelta()
+
+
+class TestStatisticsAdjustment:
+    def test_counts_match_full_rebuild_exactly(self):
+        base = small_graph()
+        stats = base.statistics()
+        delta = (
+            GraphDelta()
+            .add_node("d", labels=["Person", "Manager"])
+            .add_edge("cd", "c", "d", labels=["knows"])
+            .remove_edge("ab")
+            .add_label("b", "Manager")
+            .remove_label("c", "Person")
+        )
+        new_graph, effects = apply_delta(base, delta)
+        adjusted = stats.apply_delta(base, new_graph, effects)
+        rebuilt = GraphStatistics(new_graph)
+        assert adjusted.node_count == rebuilt.node_count
+        assert adjusted.edge_count == rebuilt.edge_count
+        assert adjusted.path_count == rebuilt.path_count
+        assert adjusted.node_label_counts == rebuilt.node_label_counts
+        assert adjusted.edge_label_counts == rebuilt.edge_label_counts
+        assert adjusted.path_label_counts == rebuilt.path_label_counts
+
+    def test_endpoint_estimates_stay_bounded(self):
+        base = small_graph()
+        stats = base.statistics()
+        new_graph, effects = apply_delta(
+            base, GraphDelta().add_node("d").add_edge("cd", "c", "d",
+                                                      labels=["knows"])
+        )
+        adjusted = stats.apply_delta(base, new_graph, effects)
+        for table in (adjusted.edge_label_sources, adjusted.edge_label_targets):
+            for label, count in table.items():
+                assert 1 <= count <= adjusted.edge_label_counts[label] or (
+                    count <= adjusted.node_count
+                )
+
+
+class TestSchemaScopedValidation:
+    def test_validate_objects_only_checks_touched(self):
+        schema = snb_schema()
+        b = GraphBuilder()
+        b.add_node("p1", labels=["Person"], properties={"firstName": "A"})
+        b.add_node("rogue", labels=["Alien"])  # pre-existing violation
+        g = b.build()
+        # scoped validation of p1 alone passes despite the rogue node
+        assert schema.validate_objects(g, {"p1"}) == []
+        with pytest.raises(ValidationError):
+            schema.validate_objects(g, {"rogue"})
+        # removed identifiers are skipped silently
+        assert schema.validate_objects(g, {"ghost"}) == []
+
+    def test_validate_objects_checks_edges(self):
+        schema = snb_schema()
+        b = GraphBuilder()
+        b.add_node("p1", labels=["Person"])
+        b.add_node("t1", labels=["Tag"])
+        b.add_edge("t1", "p1", edge_id="e1", labels=["knows"])  # Tag -> Person: bad
+        g = b.build()
+        problems = schema.validate_objects(g, {"e1"}, strict=False)
+        assert problems and "knows" in problems[0]
