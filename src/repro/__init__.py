@@ -28,7 +28,7 @@ Quickstart::
     print(g.describe())
 """
 
-from .engine import GCoreEngine
+from .engine import EngineSnapshot, GCoreEngine
 from .errors import (
     CostError,
     DeltaError,
@@ -54,6 +54,7 @@ from .table import Table
 __version__ = "1.0.0"
 
 __all__ = [
+    "EngineSnapshot",
     "GCoreEngine",
     "GraphBuilder",
     "GraphDelta",

@@ -15,11 +15,32 @@ staleness detection (:meth:`Catalog.is_view_stale`) and incremental
 maintenance (:mod:`repro.eval.maintenance`) possible: a view whose
 dependencies only advanced through recorded deltas can be patched instead
 of recomputed.
+
+The same epoch machinery powers **MVCC snapshot reads**
+(:class:`CatalogSnapshot`): :meth:`Catalog.acquire_snapshot` captures an
+immutable view of every name in the catalog and takes a *reader
+refcount* on each pinned base-graph version. Updates landing afterwards
+supersede the live entry but **retain** the superseded graph version
+while any snapshot still pins it; :meth:`Catalog.release_snapshot` drops
+the refcounts and prunes retained versions the moment their last reader
+leaves (see ``docs/consistency.md``). Graphs are immutable, so a
+snapshot needs no copies — pinning is reference bookkeeping, and a
+reader's whole world (graphs, view materializations, tables, path views,
+the default-graph pointer) stays frozen for the snapshot's lifetime.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, NamedTuple, Optional, Set, TYPE_CHECKING
+from typing import (
+    Dict,
+    FrozenSet,
+    List,
+    NamedTuple,
+    Optional,
+    Set,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 from .errors import SemanticError, UnknownGraphError, UnknownTableError
 from .model.builder import GraphBuilder
@@ -31,7 +52,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .model.delta import DeltaEffects, GraphDelta
     from .model.schema import GraphSchema
 
-__all__ = ["Catalog", "ChangeRecord", "ViewMeta", "table_as_graph"]
+__all__ = [
+    "Catalog",
+    "CatalogSnapshot",
+    "ChangeRecord",
+    "ViewMeta",
+    "table_as_graph",
+]
 
 
 def table_as_graph(table: Table, name: str = "") -> PathPropertyGraph:
@@ -91,6 +118,156 @@ class ViewMeta:
         self.default_name: Optional[str] = default_name
 
 
+class CatalogSnapshot:
+    """An immutable, point-in-time view of a :class:`Catalog`.
+
+    Obtained from :meth:`Catalog.acquire_snapshot` (usually via
+    :meth:`GCoreEngine.snapshot <repro.engine.GCoreEngine.snapshot>`). A
+    snapshot resolves every read the evaluator performs — graphs, view
+    materializations, tables-as-graphs, path views, the default-graph
+    pointer — against the state captured at acquisition time, so a query
+    holding one sees a single consistent catalog version no matter how
+    many updates land concurrently. Mutating operations raise: snapshots
+    are strictly read-only (writes go through the live catalog).
+
+    Snapshots pin the base-graph versions they captured (a reader
+    refcount in the owning catalog); call :meth:`release` — or use the
+    snapshot as a context manager — when done, so superseded versions
+    can be pruned. Releasing is idempotent. Reads keep working after
+    release (the Python references survive); only the catalog-side
+    retention accounting ends.
+    """
+
+    __slots__ = (
+        "_catalog",
+        "_graphs",
+        "_tables",
+        "_path_views",
+        "_stale",
+        "_table_graph_cache",
+        "_pinned",
+        "_base_names",
+        "_views",
+        "epochs",
+        "default_graph_name",
+        "released",
+    )
+
+    def __init__(self, catalog: "Catalog") -> None:
+        self._catalog = catalog
+        self._graphs: Dict[str, PathPropertyGraph] = dict(catalog._graphs)
+        self._graphs.update(catalog._view_cache)
+        self._tables: Dict[str, Table] = dict(catalog._tables)
+        self._path_views = dict(catalog._path_views)
+        self._base_names = frozenset(catalog._graphs)
+        self._views: Dict[str, "ast.Query"] = dict(catalog._views)
+        self._stale = frozenset(catalog.stale_views())
+        self._table_graph_cache: Dict[str, PathPropertyGraph] = {}
+        #: name -> epoch at acquisition (base graphs, views and tables).
+        self.epochs: Dict[str, int] = dict(catalog._epochs)
+        #: the (name, epoch) base-graph versions this snapshot refcounts.
+        self._pinned: List[Tuple[str, int]] = [
+            (name, self.epochs.get(name, 0)) for name in catalog._graphs
+        ]
+        self.default_graph_name = catalog.default_graph_name
+        self.released = False
+
+    # -- context manager ------------------------------------------------
+    def __enter__(self) -> "CatalogSnapshot":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def release(self) -> None:
+        """Drop this snapshot's reader refcounts (idempotent)."""
+        self._catalog.release_snapshot(self)
+
+    # -- read API (mirrors Catalog) -------------------------------------
+    def has_graph(self, name: str) -> bool:
+        return name in self._graphs or name in self._tables
+
+    def graph(self, name: str) -> PathPropertyGraph:
+        """Resolve *name* to the graph version captured at acquisition."""
+        if name in self._graphs:
+            return self._graphs[name]
+        if name in self._tables:
+            if name not in self._table_graph_cache:
+                self._table_graph_cache[name] = table_as_graph(
+                    self._tables[name], name
+                )
+            return self._table_graph_cache[name]
+        raise UnknownGraphError(name)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def path_view(self, name: str) -> Optional["ast.PathClause"]:
+        return self._path_views.get(name)
+
+    def is_base_graph(self, name: str) -> bool:
+        """True iff *name* was a directly-registered base graph."""
+        return name in self._base_names
+
+    def is_view(self, name: str) -> bool:
+        return name in self._views
+
+    def view_query(self, name: str) -> Optional["ast.Query"]:
+        return self._views.get(name)
+
+    def default_graph(self) -> Optional[PathPropertyGraph]:
+        if self.default_graph_name is None:
+            return None
+        return self.graph(self.default_graph_name)
+
+    def epoch(self, name: str) -> int:
+        """The captured change epoch of *name* (0 for unknown)."""
+        return self.epochs.get(name, 0)
+
+    def is_view_stale(self, name: str) -> bool:
+        """Was view *name* already stale when this snapshot was taken?
+
+        Within a snapshot nothing changes, so this is a frozen fact: a
+        view that was fresh at acquisition stays fresh for every reader
+        of this snapshot, even while the live catalog moves on.
+        """
+        return name in self._stale
+
+    def stale_views(self) -> List[str]:
+        return sorted(self._stale)
+
+    def graph_names(self) -> List[str]:
+        return sorted(self._graphs)
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    # -- writes are rejected --------------------------------------------
+    def _read_only(self, operation: str):
+        raise SemanticError(
+            f"catalog snapshot is read-only: {operation} must run against "
+            f"the live catalog"
+        )
+
+    def register_graph(self, *args, **kwargs):
+        self._read_only("register_graph")
+
+    def register_table(self, *args, **kwargs):
+        self._read_only("register_table")
+
+    def register_view(self, *args, **kwargs):
+        self._read_only("register_view (GRAPH VIEW)")
+
+    def register_path_view(self, *args, **kwargs):
+        self._read_only("register_path_view")
+
+    def commit_update(self, *args, **kwargs):
+        self._read_only("commit_update")
+
+
 class Catalog:
     """Engine-level registry of graphs, views and tables."""
 
@@ -105,6 +282,13 @@ class Catalog:
         self._schemas: Dict[str, "GraphSchema"] = {}
         self._epochs: Dict[str, int] = {}
         self._changelogs: Dict[str, List[ChangeRecord]] = {}
+        # MVCC reader bookkeeping: refcounts per pinned (name, epoch)
+        # base-graph version, and the superseded graph versions retained
+        # while at least one snapshot still pins them.
+        self._pins: Dict[Tuple[str, int], int] = {}
+        self._retained: Dict[str, Dict[int, PathPropertyGraph]] = {}
+        self._snapshots_taken = 0
+        self._snapshots_released = 0
         self.default_graph_name: Optional[str] = None
 
     # ------------------------------------------------------------------
@@ -157,7 +341,12 @@ class Catalog:
     CHANGELOG_LIMIT = 256
 
     def _bump(self, name, kind, delta, effects, before, after) -> None:
-        epoch = self._epochs.get(name, 0) + 1
+        old_epoch = self._epochs.get(name, 0)
+        if before is not None and self._pins.get((name, old_epoch), 0) > 0:
+            # A snapshot reader still pins the superseded version: retain
+            # it until release_snapshot drops the last refcount.
+            self._retained.setdefault(name, {})[old_epoch] = before
+        epoch = old_epoch + 1
         self._epochs[name] = epoch
         self._changelogs.setdefault(name, []).append(
             ChangeRecord(epoch, kind, delta, effects, before, after)
@@ -318,6 +507,70 @@ class Catalog:
         if self.default_graph_name is None:
             return None
         return self.graph(self.default_graph_name)
+
+    # ------------------------------------------------------------------
+    # MVCC snapshots
+    # ------------------------------------------------------------------
+    def acquire_snapshot(self) -> CatalogSnapshot:
+        """Capture a :class:`CatalogSnapshot` and refcount its versions.
+
+        Every base-graph version visible to the snapshot gets one reader
+        refcount; later updates retain superseded versions until their
+        refcount drops back to zero (:meth:`release_snapshot`). The
+        caller — normally :meth:`GCoreEngine.snapshot
+        <repro.engine.GCoreEngine.snapshot>`, which serializes snapshot
+        and update traffic behind the engine lock — owns the release.
+        """
+        snapshot = CatalogSnapshot(self)
+        for key in snapshot._pinned:
+            self._pins[key] = self._pins.get(key, 0) + 1
+        self._snapshots_taken += 1
+        return snapshot
+
+    def release_snapshot(self, snapshot: CatalogSnapshot) -> None:
+        """Drop *snapshot*'s refcounts and prune unpinned retained versions.
+
+        Idempotent: releasing an already-released snapshot is a no-op.
+        A retained (superseded) graph version is pruned the moment its
+        reader refcount reaches zero; the live version of each name is
+        never touched.
+        """
+        if snapshot.released:
+            return
+        snapshot.released = True
+        self._snapshots_released += 1
+        for key in snapshot._pinned:
+            count = self._pins.get(key, 0) - 1
+            if count > 0:
+                self._pins[key] = count
+                continue
+            self._pins.pop(key, None)
+            name, epoch = key
+            versions = self._retained.get(name)
+            if versions is not None:
+                versions.pop(epoch, None)
+                if not versions:
+                    del self._retained[name]
+
+    def retained_versions(self, name: str) -> List[int]:
+        """Epochs of superseded versions of *name* still pinned by readers."""
+        return sorted(self._retained.get(name, ()))
+
+    def retained_version_count(self, name: Optional[str] = None) -> int:
+        """How many superseded graph versions are currently retained.
+
+        With *name*, counts that graph's retained versions only; without,
+        the catalog-wide total. This is the observable the MVCC harness
+        asserts on: the count rises while snapshot readers pin superseded
+        versions and returns to zero once every reader released.
+        """
+        if name is not None:
+            return len(self._retained.get(name, ()))
+        return sum(len(v) for v in self._retained.values())
+
+    def active_snapshot_count(self) -> int:
+        """Snapshots acquired and not yet released."""
+        return self._snapshots_taken - self._snapshots_released
 
     # ------------------------------------------------------------------
     # Change tracking

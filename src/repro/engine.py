@@ -49,11 +49,17 @@ materializations *incrementally* refreshable — see
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, List, Optional, Set, Union
 
-from .catalog import Catalog
-from .errors import EvaluationError, StaleViewError, UnknownGraphError
+from .catalog import Catalog, CatalogSnapshot
+from .errors import (
+    EvaluationError,
+    SemanticError,
+    StaleViewError,
+    UnknownGraphError,
+)
 from .eval.context import EvalContext, IdFactory
 from .eval.match import evaluate_match
 from .eval.planner import PlanCache
@@ -66,7 +72,7 @@ from .model.graph import PathPropertyGraph
 from .table import Table
 from .algebra.binding import BindingTable
 
-__all__ = ["GCoreEngine", "PreparedQuery"]
+__all__ = ["EngineSnapshot", "GCoreEngine", "PreparedQuery"]
 
 
 def _collect_params(node, names: Set[str]) -> None:
@@ -129,6 +135,92 @@ class PreparedQuery:
         )
 
 
+class EngineSnapshot:
+    """A consistent, read-only view of the engine for one reader.
+
+    Obtained from :meth:`GCoreEngine.snapshot`. All reads through this
+    object — ``run``, ``execute_prepared``, ``graph`` — resolve against
+    the catalog version captured at acquisition time: updates applied
+    concurrently through :meth:`GCoreEngine.apply_update` land on later
+    epochs and are invisible here. The snapshot refcounts the graph
+    versions it pins; superseded versions are retained by the catalog
+    until the last pinning snapshot releases (see ``docs/consistency.md``).
+
+    Use as a context manager, or call :meth:`release` explicitly::
+
+        with engine.snapshot() as snap:
+            table = snap.run("SELECT n.name MATCH (n:Person)")
+
+    Mutating statements (``GRAPH VIEW``) and catalog mutations raise
+    :class:`~repro.errors.SemanticError` — writes go through the live
+    engine, never through a snapshot.
+    """
+
+    __slots__ = ("engine", "catalog")
+
+    def __init__(self, engine: "GCoreEngine", catalog: CatalogSnapshot) -> None:
+        self.engine = engine
+        self.catalog = catalog
+
+    # -- lifecycle ------------------------------------------------------
+    def __enter__(self) -> "EngineSnapshot":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def release(self) -> None:
+        """Drop the reader refcounts (idempotent); reads stay usable."""
+        with self.engine._lock:
+            self.catalog.release()
+
+    @property
+    def released(self) -> bool:
+        return self.catalog.released
+
+    # -- reads ----------------------------------------------------------
+    def run(self, text: str, params: Optional[dict] = None) -> QueryResult:
+        """Execute one read-only statement against the pinned catalog.
+
+        Shares the engine's prepared-query LRU (parsing and planning are
+        memoized across snapshots; atom orderings are keyed by graph
+        object identity, so plans never leak between catalog versions).
+        """
+        return self.execute_prepared(self.engine.prepare(str(text)), params)
+
+    def execute_prepared(
+        self, prepared: PreparedQuery, params: Optional[dict] = None
+    ) -> QueryResult:
+        """Execute a :class:`PreparedQuery` against the pinned catalog."""
+        if isinstance(prepared.statement, ast.GraphViewStmt):
+            raise SemanticError(
+                "GRAPH VIEW statements mutate the catalog and cannot run "
+                "on a read-only snapshot"
+            )
+        missing = prepared.param_names - set(params or ())
+        if missing:
+            raise EvaluationError(
+                f"missing query parameters: {sorted(missing)}"
+            )
+        prepared.executions += 1
+        return self.engine._execute(
+            prepared.statement, params, plans=prepared.plans,
+            catalog=self.catalog,
+        )
+
+    def graph(self, name: str) -> PathPropertyGraph:
+        """The pinned version of graph or view *name*."""
+        return self.catalog.graph(name)
+
+    def epoch(self, name: str) -> int:
+        """The pinned change epoch of *name*."""
+        return self.catalog.epoch(name)
+
+    def explain(self, text: str) -> str:
+        """The engine's EXPLAIN sketch, resolved against this snapshot."""
+        return self.engine.explain(text, catalog=self.catalog)
+
+
 class GCoreEngine:
     """An in-memory G-CORE query engine over a graph catalog."""
 
@@ -141,6 +233,12 @@ class GCoreEngine:
         self._prepared: "OrderedDict[str, PreparedQuery]" = OrderedDict()
         self._prepared_hits = 0
         self._prepared_misses = 0
+        # Serializes catalog mutations, prepared-LRU bookkeeping and
+        # snapshot acquire/release. Query *execution* runs outside the
+        # lock: readers hold immutable snapshots, so only the short
+        # bookkeeping sections contend. Reentrant because mutations call
+        # clear_plan_cache (also locked) internally.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Catalog management
@@ -161,8 +259,11 @@ class GCoreEngine:
         *schema* (:class:`~repro.model.schema.GraphSchema`) is attached
         to the catalog entry and enforced by :meth:`apply_update`.
         """
-        self.catalog.register_graph(name, graph, default=default, schema=schema)
-        self.clear_plan_cache()
+        with self._lock:
+            self.catalog.register_graph(
+                name, graph, default=default, schema=schema
+            )
+            self.clear_plan_cache()
 
     def apply_update(
         self,
@@ -189,27 +290,34 @@ class GCoreEngine:
         on the next execution). Returns the new graph.
         """
         name = graph if isinstance(graph, str) else graph.name
-        base = self.catalog.base_graph(name)
-        new_graph, effects = apply_delta(base, delta)
-        active_schema = schema if schema is not None else self.catalog.schema(name)
-        if active_schema is not None:
-            active_schema.validate_objects(
-                new_graph, effects.validation_targets(new_graph)
+        with self._lock:
+            base = self.catalog.base_graph(name)
+            new_graph, effects = apply_delta(base, delta)
+            active_schema = (
+                schema if schema is not None else self.catalog.schema(name)
             )
-        cached_stats = base.cached_statistics()
-        if cached_stats is not None:
-            new_graph.adopt_statistics(
-                cached_stats.apply_delta(base, new_graph, effects)
-            )
-        self.catalog.commit_update(name, new_graph, delta, effects)
-        for prepared in self._prepared.values():
-            prepared.plans.purge_graph(base)
+            if active_schema is not None:
+                active_schema.validate_objects(
+                    new_graph, effects.validation_targets(new_graph)
+                )
+            cached_stats = base.cached_statistics()
+            if cached_stats is not None:
+                # apply_delta returns a *new* GraphStatistics: readers
+                # pinned to the superseded graph keep its original stats
+                # object untouched (copy-on-write, never in-place).
+                new_graph.adopt_statistics(
+                    cached_stats.apply_delta(base, new_graph, effects)
+                )
+            self.catalog.commit_update(name, new_graph, delta, effects)
+            for prepared in self._prepared.values():
+                prepared.plans.purge_graph(base)
         return new_graph
 
     def register_table(self, name: str, table: Table) -> None:
         """Register a table for the Section 5 tabular extensions."""
-        self.catalog.register_table(name, table)
-        self.clear_plan_cache()
+        with self._lock:
+            self.catalog.register_table(name, table)
+            self.clear_plan_cache()
 
     def register_path_view(self, text_or_clause) -> str:
         """Register a persistent PATH view from source text or an AST node.
@@ -223,8 +331,9 @@ class GCoreEngine:
             parser = Parser(tokenize(str(text_or_clause)))
             clause = parser._path_clause()
             parser.expect_eof()
-        self.catalog.register_path_view(clause.name, clause)
-        self.clear_plan_cache()
+        with self._lock:
+            self.catalog.register_path_view(clause.name, clause)
+            self.clear_plan_cache()
         return clause.name
 
     def graph(self, name: str) -> PathPropertyGraph:
@@ -261,10 +370,11 @@ class GCoreEngine:
         return self.catalog.table(name)
 
     def set_default_graph(self, name: str) -> None:
-        if not self.catalog.has_graph(name):
-            raise UnknownGraphError(name)
-        self.catalog.default_graph_name = name
-        self.clear_plan_cache()
+        with self._lock:
+            if not self.catalog.has_graph(name):
+                raise UnknownGraphError(name)
+            self.catalog.default_graph_name = name
+            self.clear_plan_cache()
 
     def refresh_view(
         self, name: str, incremental: bool = True
@@ -286,11 +396,62 @@ class GCoreEngine:
         """
         from .eval.maintenance import refresh_view as run_refresh
 
-        ctx = EvalContext(self.catalog, self._ids)
-        result, strategy = run_refresh(name, ctx, incremental=incremental)
-        if strategy != "unchanged":
-            self.clear_plan_cache()
+        with self._lock:
+            ctx = EvalContext(self.catalog, self._ids)
+            result, strategy = run_refresh(name, ctx, incremental=incremental)
+            if strategy != "unchanged":
+                self.clear_plan_cache()
         return result.with_name(name)
+
+    # ------------------------------------------------------------------
+    # MVCC snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> EngineSnapshot:
+        """Acquire a consistent read-only :class:`EngineSnapshot`.
+
+        The snapshot pins the current version of every catalog entry —
+        reads through it are repeatable no matter how many
+        :meth:`apply_update` / :meth:`register_graph` calls land
+        concurrently — and refcounts the pinned graph versions so the
+        catalog knows when a superseded version's last reader is gone
+        (:meth:`Catalog.release_snapshot
+        <repro.catalog.Catalog.release_snapshot>` prunes it then).
+        Release promptly (context manager, or :meth:`EngineSnapshot.release`)
+        to keep retained-version memory bounded.
+        """
+        with self._lock:
+            return EngineSnapshot(self, self.catalog.acquire_snapshot())
+
+    def mvcc_info(self) -> Dict[str, int]:
+        """Reader/retention accounting: active snapshots, retained versions."""
+        with self._lock:
+            return {
+                "active_snapshots": self.catalog.active_snapshot_count(),
+                "retained_versions": self.catalog.retained_version_count(),
+            }
+
+    def catalog_info(self) -> List[Dict[str, object]]:
+        """Per-graph inventory for ``GET /stats``: sizes, epochs, kind."""
+        with self._lock:
+            info: List[Dict[str, object]] = []
+            stale = set(self.catalog.stale_views())
+            for name in self.catalog.graph_names():
+                graph = self.catalog.graph(name)
+                entry: Dict[str, object] = {
+                    "name": name,
+                    "kind": "view" if self.catalog.is_view(name) else "base",
+                    "epoch": self.catalog.epoch(name),
+                    "node_count": len(graph.nodes),
+                    "edge_count": len(graph.edges),
+                    "path_count": len(graph.paths),
+                    "retained_versions": self.catalog.retained_version_count(
+                        name
+                    ),
+                }
+                if entry["kind"] == "view":
+                    entry["stale"] = name in stale
+                info.append(entry)
+            return info
 
     # ------------------------------------------------------------------
     # Execution
@@ -310,16 +471,25 @@ class GCoreEngine:
         it. Repeated calls with the same text return the same object
         until a catalog mutation invalidates the cache.
         """
-        prepared = self._prepared.get(text)
-        if prepared is not None:
-            self._prepared.move_to_end(text)
-            self._prepared_hits += 1
-            return prepared
-        self._prepared_misses += 1
+        with self._lock:
+            prepared = self._prepared.get(text)
+            if prepared is not None:
+                self._prepared.move_to_end(text)
+                self._prepared_hits += 1
+                return prepared
+            self._prepared_misses += 1
+        # Parse outside the lock (pure function of the text); publish
+        # under it. A concurrent prepare of the same text may parse
+        # twice, but both threads end up sharing whichever PreparedQuery
+        # published first.
         prepared = PreparedQuery(self, text, self.parse(text))
-        self._prepared[text] = prepared
-        while len(self._prepared) > self.PLAN_CACHE_SIZE:
-            self._prepared.popitem(last=False)
+        with self._lock:
+            existing = self._prepared.get(text)
+            if existing is not None:
+                return existing
+            self._prepared[text] = prepared
+            while len(self._prepared) > self.PLAN_CACHE_SIZE:
+                self._prepared.popitem(last=False)
         return prepared
 
     def run(
@@ -353,8 +523,21 @@ class GCoreEngine:
         params: Optional[dict] = None,
         plans: Optional[PlanCache] = None,
         naive: bool = False,
+        catalog: Optional[CatalogSnapshot] = None,
     ) -> QueryResult:
-        ctx = EvalContext(self.catalog, self._ids)
+        if catalog is None and isinstance(statement, ast.GraphViewStmt):
+            # GRAPH VIEW registers a materialization: a catalog write,
+            # serialized like every other mutation.
+            with self._lock:
+                return self._evaluate(statement, params, plans, naive,
+                                      self.catalog)
+        return self._evaluate(statement, params, plans, naive,
+                              catalog if catalog is not None else self.catalog)
+
+    def _evaluate(
+        self, statement, params, plans, naive, catalog
+    ) -> QueryResult:
+        ctx = EvalContext(catalog, self._ids)
         if params:
             ctx.params = dict(params)
         ctx.naive_planner = naive
@@ -371,20 +554,23 @@ class GCoreEngine:
     # ------------------------------------------------------------------
     def plan_cache_info(self) -> Dict[str, int]:
         """Hit/miss counters and occupancy of the prepared-query cache."""
-        return {
-            "hits": self._prepared_hits,
-            "misses": self._prepared_misses,
-            "size": len(self._prepared),
-            "maxsize": self.PLAN_CACHE_SIZE,
-        }
+        with self._lock:
+            return {
+                "hits": self._prepared_hits,
+                "misses": self._prepared_misses,
+                "size": len(self._prepared),
+                "maxsize": self.PLAN_CACHE_SIZE,
+            }
 
     def clear_plan_cache(self) -> None:
         """Drop all cached prepared queries (catalog mutations call this)."""
-        self._prepared.clear()
+        with self._lock:
+            self._prepared.clear()
 
     def is_plan_cached(self, text: str) -> bool:
         """True iff ``run(text)`` would hit the prepared-query cache."""
-        return text in self._prepared
+        with self._lock:
+            return text in self._prepared
 
     def run_script(self, text: str) -> List[QueryResult]:
         """Execute a ``;``-separated sequence of statements."""
@@ -417,7 +603,9 @@ class GCoreEngine:
         ctx.naive_planner = naive
         return evaluate_match(match, ctx)
 
-    def explain(self, text: str) -> str:
+    def explain(
+        self, text: str, catalog: Optional[CatalogSnapshot] = None
+    ) -> str:
         """A human-readable sketch of how a query would be evaluated.
 
         Pattern atoms are listed in planner order with the heuristic
@@ -427,13 +615,15 @@ class GCoreEngine:
         atom's probe, which apply as post-atom filters, and which remain
         residual at block end. The header reports whether the query text
         currently sits in the prepared-query cache (``plan: cached`` vs
-        ``plan: cold``).
+        ``plan: cold``). *catalog* pins name resolution to a snapshot
+        (:meth:`EngineSnapshot.explain` passes it).
         """
         from .eval.match import decompose_chain, _AnonNamer
         from .eval.planner import explain_order, order_atoms
         from .eval.pushdown import PushdownPlan
         from .lang.pretty import pretty_chain, pretty_expr
 
+        resolver = catalog if catalog is not None else self.catalog
         statement = self.parse(text)
         if isinstance(statement, ast.GraphViewStmt):
             query = statement.query
@@ -444,7 +634,7 @@ class GCoreEngine:
         if isinstance(statement, ast.GraphViewStmt):
             from .eval.maintenance import analyze_view, describe_strategy
 
-            plan = analyze_view(statement.query, self.catalog)
+            plan = analyze_view(statement.query, resolver)
             lines.append(
                 f"view maintenance: {describe_strategy(plan)}"
             )
@@ -461,9 +651,9 @@ class GCoreEngine:
             """Best-effort resolution of a pattern's target graph."""
             try:
                 if location.on is None:
-                    return self.catalog.default_graph()
+                    return resolver.default_graph()
                 if isinstance(location.on, str):
-                    return self.catalog.graph(location.on)
+                    return resolver.graph(location.on)
             except Exception:
                 return None
             return None  # ON (subquery): no statistics without running it

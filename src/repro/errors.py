@@ -10,7 +10,17 @@ from __future__ import annotations
 
 
 class GCoreError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    Every subclass carries a stable machine-readable ``code`` and a
+    default ``http_status`` — the contract of the HTTP query server's
+    JSON error envelope (:mod:`repro.server`, ``docs/http-api.md``).
+    """
+
+    #: stable wire identifier used by the server's error envelope
+    code = "gcore_error"
+    #: default HTTP status the server maps this error class to
+    http_status = 400
 
 
 class GraphModelError(GCoreError):
@@ -21,9 +31,15 @@ class GraphModelError(GCoreError):
     overlapping node/edge/path identifier namespaces.
     """
 
+    code = "graph_model_error"
+    http_status = 400
+
 
 class LexerError(GCoreError):
     """Raised when the query text contains an unrecognizable token."""
+
+    code = "parse_error"
+    http_status = 400
 
     def __init__(self, message: str, line: int, column: int) -> None:
         super().__init__(f"{message} (at line {line}, column {column})")
@@ -33,6 +49,9 @@ class LexerError(GCoreError):
 
 class ParseError(GCoreError):
     """Raised when the query text does not conform to the G-CORE grammar."""
+
+    code = "parse_error"
+    http_status = 400
 
     def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
         if line:
@@ -51,9 +70,15 @@ class SemanticError(GCoreError):
     construct over a bound edge whose endpoint variables are unbound.
     """
 
+    code = "semantic_error"
+    http_status = 400
+
 
 class UnknownGraphError(SemanticError):
     """Raised when a query references a graph name not in the catalog."""
+
+    code = "unknown_graph"
+    http_status = 404
 
     def __init__(self, name: str) -> None:
         super().__init__(f"unknown graph: {name!r}")
@@ -63,6 +88,9 @@ class UnknownGraphError(SemanticError):
 class UnknownTableError(SemanticError):
     """Raised when a query references a table name not in the catalog."""
 
+    code = "unknown_table"
+    http_status = 404
+
     def __init__(self, name: str) -> None:
         super().__init__(f"unknown table: {name!r}")
         self.name = name
@@ -70,6 +98,9 @@ class UnknownTableError(SemanticError):
 
 class UnknownPathViewError(SemanticError):
     """Raised when a regular path expression references an undefined view."""
+
+    code = "unknown_path_view"
+    http_status = 404
 
     def __init__(self, name: str) -> None:
         super().__init__(f"unknown path view: {name!r}")
@@ -79,6 +110,9 @@ class UnknownPathViewError(SemanticError):
 class EvaluationError(GCoreError):
     """Raised when an expression or clause fails at evaluation time."""
 
+    code = "evaluation_error"
+    http_status = 400
+
 
 class CostError(EvaluationError):
     """Raised when a PATH ... COST expression is non-numeric or not > 0.
@@ -87,9 +121,15 @@ class CostError(EvaluationError):
     larger than zero (otherwise a run-time error will be raised)".
     """
 
+    code = "cost_error"
+    http_status = 400
+
 
 class ValidationError(GCoreError):
     """Raised when schema validation of a graph fails."""
+
+    code = "validation_error"
+    http_status = 422
 
 
 class DeltaError(GCoreError):
@@ -101,6 +141,9 @@ class DeltaError(GCoreError):
     object.
     """
 
+    code = "delta_error"
+    http_status = 409
+
 
 class StaleViewError(GCoreError):
     """Raised by the strict accessor :meth:`GCoreEngine.get_graph` when a
@@ -109,6 +152,9 @@ class StaleViewError(GCoreError):
     Call :meth:`GCoreEngine.refresh_view` to bring the view up to date,
     or pass ``allow_stale=True`` to read the old materialization anyway.
     """
+
+    code = "stale_view"
+    http_status = 409
 
     def __init__(self, name: str) -> None:
         super().__init__(

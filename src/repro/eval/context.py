@@ -11,6 +11,7 @@ several graphs (multi-graph queries, Section 3).
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from ..catalog import Catalog
@@ -30,24 +31,31 @@ class IdFactory:
     ``new(site, key)`` returns the same identifier for the same construct
     site and grouping key within one query evaluation, and a fresh one
     otherwise — exactly the behaviour Appendix A.3 requires of ``new``.
+
+    Thread-safe: the engine shares one factory across every query it
+    runs, and the query server executes snapshot readers on a thread
+    pool. ``fresh`` draws from an atomic counter, and ``skolem``
+    publishes memo entries with a single ``setdefault`` so two threads
+    racing on the same (site, key) agree on one identifier — a
+    check-then-set here could tear a CONSTRUCT result across ids.
     """
 
     def __init__(self, prefix: str = "_") -> None:
         self._prefix = prefix
-        self._counter = 0
+        self._counter = itertools.count(1)
         self._memo: Dict[Tuple[Any, ...], str] = {}
 
     def fresh(self, kind: str = "n") -> str:
         """An identifier never returned before by this factory."""
-        self._counter += 1
-        return f"{self._prefix}{kind}{self._counter}"
+        return f"{self._prefix}{kind}{next(self._counter)}"
 
     def skolem(self, kind: str, site: Any, key: Any) -> str:
         """The memoized identifier for (construct site, group key)."""
         memo_key = (kind, site, key)
-        if memo_key not in self._memo:
-            self._memo[memo_key] = self.fresh(kind)
-        return self._memo[memo_key]
+        existing = self._memo.get(memo_key)
+        if existing is not None:
+            return existing
+        return self._memo.setdefault(memo_key, self.fresh(kind))
 
 
 class EvalContext:
@@ -55,7 +63,7 @@ class EvalContext:
 
     def __init__(
         self,
-        catalog: Catalog,
+        catalog: Catalog,  # or a read-only CatalogSnapshot (same read API)
         id_factory: Optional[IdFactory] = None,
         depth: int = 0,
     ) -> None:

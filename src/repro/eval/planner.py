@@ -30,6 +30,7 @@ engine's prepared queries.
 from __future__ import annotations
 
 import heapq
+import threading
 from collections import OrderedDict
 from typing import Iterable, List, NamedTuple, Optional, Sequence, Set, Tuple
 
@@ -325,6 +326,13 @@ class PlanCache:
     location and graph objects and are validated by identity — a graph
     re-registered under the same name is a different object and simply
     misses, so stale orderings can never be replayed.
+
+    Thread-safe: the query server executes one prepared statement from
+    many snapshot readers concurrently while ``apply_update`` purges
+    superseded-graph entries, so every structural operation on the LRU
+    (lookup's move-to-end included) runs under a lock. Keying by graph
+    *object* doubles as per-epoch cache keying — readers pinned to
+    different catalog versions never share (or clobber) an ordering.
     """
 
     def __init__(self, maxsize: int = 128) -> None:
@@ -332,35 +340,39 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._mutex = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._mutex:
+            return len(self._entries)
 
     def lookup(self, site, columns: Tuple[str, ...], graph) -> Optional[List[int]]:
         """The memoized ordering (as atom indices), or None."""
         key = (id(site), columns, id(graph))
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        entry_site, entry_graph, order = entry
-        if entry_site is not site or entry_graph is not graph:
-            # id() reuse after garbage collection; drop the stale entry.
-            del self._entries[key]
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return order
+        with self._mutex:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            entry_site, entry_graph, order = entry
+            if entry_site is not site or entry_graph is not graph:
+                # id() reuse after garbage collection; drop the stale entry.
+                del self._entries[key]
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return order
 
     def store(
         self, site, columns: Tuple[str, ...], graph, order: List[int]
     ) -> None:
         key = (id(site), columns, id(graph))
-        self._entries[key] = (site, graph, list(order))
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._mutex:
+            self._entries[key] = (site, graph, list(order))
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
 
     def purge_graph(self, graph) -> int:
         """Drop every ordering memoized against *graph* (by identity).
@@ -368,17 +380,22 @@ class PlanCache:
         Called when a graph delta replaces a catalog entry: the prepared
         queries themselves stay hot (parse and AST survive — names
         re-resolve to the new graph at execution), only the orderings
-        planned against the superseded graph object are evicted. Returns
-        the number of dropped entries.
+        planned against the superseded graph object are evicted. A
+        snapshot reader still pinned to *graph* simply re-plans on its
+        next execution (a cache miss, never an error) and re-stores the
+        ordering under the same identity key. Returns the number of
+        dropped entries.
         """
-        doomed = [
-            key
-            for key, (_, entry_graph, _) in self._entries.items()
-            if entry_graph is graph
-        ]
-        for key in doomed:
-            del self._entries[key]
-        return len(doomed)
+        with self._mutex:
+            doomed = [
+                key
+                for key, (_, entry_graph, _) in self._entries.items()
+                if entry_graph is graph
+            ]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._mutex:
+            self._entries.clear()

@@ -1,0 +1,45 @@
+"""repro.server — the concurrent HTTP query server.
+
+Serve one :class:`~repro.engine.GCoreEngine` to many clients over a
+small JSON/HTTP API with MVCC snapshot isolation for every read and
+admission control for overload. Start it from the command line::
+
+    PYTHONPATH=src python -m repro.server --dataset paper --port 7687
+
+or embed it (tests, notebooks)::
+
+    from repro.server import ServerConfig, run_in_thread
+
+    handle = run_in_thread(engine, ServerConfig(port=0))
+    print(handle.url)   # e.g. http://127.0.0.1:49213
+    ...
+    handle.stop()
+
+See ``docs/http-api.md`` for the endpoint reference and
+``docs/consistency.md`` for the MVCC model.
+"""
+
+from .app import GCoreServer, ServerConfig, ServerThread, run_in_thread
+from .protocol import (
+    ApiError,
+    BadRequest,
+    MethodNotAllowed,
+    NotFound,
+    OverloadedError,
+    PayloadTooLarge,
+    RequestTimeout,
+)
+
+__all__ = [
+    "ApiError",
+    "BadRequest",
+    "GCoreServer",
+    "MethodNotAllowed",
+    "NotFound",
+    "OverloadedError",
+    "PayloadTooLarge",
+    "RequestTimeout",
+    "ServerConfig",
+    "ServerThread",
+    "run_in_thread",
+]

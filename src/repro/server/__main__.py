@@ -1,0 +1,88 @@
+"""``python -m repro.server`` — run the query server from the shell.
+
+Loads a dataset into a fresh engine and serves it until interrupted::
+
+    PYTHONPATH=src python -m repro.server --dataset paper --port 7687
+
+``--dataset paper`` registers the paper's toy instances
+(``social_graph`` as the default graph, ``company_graph``, and the
+``orders`` table); ``--dataset snb`` generates the deterministic
+SNB-like graph for load experiments. See ``docs/http-api.md`` for the
+endpoints and a full curl session.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from ..datasets import (
+    company_graph,
+    generate_snb_graph,
+    orders_table,
+    social_graph,
+)
+from ..engine import GCoreEngine
+from .app import GCoreServer, ServerConfig
+
+
+def build_engine(dataset: str, seed: int, persons: int) -> GCoreEngine:
+    engine = GCoreEngine()
+    if dataset == "paper":
+        engine.register_graph("social_graph", social_graph(), default=True)
+        engine.register_graph("company_graph", company_graph())
+        engine.register_table("orders", orders_table())
+    elif dataset == "snb":
+        graph = generate_snb_graph(persons=persons, seed=seed)
+        engine.register_graph("snb", graph, default=True)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(f"unknown dataset: {dataset}")
+    return engine
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve a G-CORE engine over HTTP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7687)
+    parser.add_argument(
+        "--dataset", choices=("paper", "snb"), default="paper"
+    )
+    parser.add_argument(
+        "--persons", type=int, default=200, help="SNB graph size"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="SNB seed")
+    parser.add_argument("--max-in-flight", type=int, default=8)
+    parser.add_argument("--max-queue", type=int, default=16)
+    parser.add_argument("--timeout-ms", type=int, default=30_000)
+    parser.add_argument("--row-limit", type=int, default=10_000)
+    args = parser.parse_args(argv)
+
+    engine = build_engine(args.dataset, args.seed, args.persons)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_in_flight=args.max_in_flight,
+        max_queue=args.max_queue,
+        default_timeout_ms=args.timeout_ms,
+        default_row_limit=args.row_limit,
+    )
+    server = GCoreServer(engine, config)
+
+    async def serve() -> None:
+        await server.start()
+        print(f"G-CORE server listening on {server.url} "
+              f"(dataset={args.dataset}); Ctrl-C to stop")
+        await server.wait_stopped()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("\nstopped")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

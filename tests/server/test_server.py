@@ -1,0 +1,367 @@
+"""HTTP server: endpoint behavior, error envelopes, admission edge cases.
+
+Each test boots a real server on an ephemeral port
+(:func:`repro.server.run_in_thread`) and talks plain HTTP through
+urllib — the same wire a curl client sees, documented in
+``docs/http-api.md``.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from urllib.parse import quote
+
+import pytest
+
+from repro import GCoreEngine, GraphBuilder
+from repro.server import ServerConfig, run_in_thread
+
+PERSON_QUERY = "SELECT n.name MATCH (n:Person) ON g ORDER BY n.name"
+
+
+def small_graph(n=6):
+    b = GraphBuilder(name="g")
+    for i in range(n):
+        b.add_node(f"p{i}", labels=["Person"], properties={"name": f"p{i}"})
+    for i in range(n - 1):
+        b.add_edge(f"p{i}", f"p{i + 1}", edge_id=f"e{i}", labels=["knows"])
+    return b.build()
+
+
+def make_engine(engine_cls=GCoreEngine):
+    engine = engine_cls()
+    engine.register_graph("g", small_graph(), default=True)
+    return engine
+
+
+def http(url, payload=None, timeout=30):
+    """POST *payload* (or GET when None); returns (status, body_dict)."""
+    if payload is None:
+        request = urllib.request.Request(url)
+    else:
+        request = urllib.request.Request(
+            url,
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def http_raw(url, body, timeout=30):
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+@pytest.fixture()
+def server():
+    handle = run_in_thread(make_engine(), ServerConfig(port=0))
+    try:
+        yield handle
+    finally:
+        handle.stop()
+
+
+class SlowQueryEngine(GCoreEngine):
+    """Every evaluation sleeps first — deterministic slow queries."""
+
+    delay = 0.6
+
+    def _evaluate(self, statement, params, plans, naive, catalog):
+        time.sleep(self.delay)
+        return super()._evaluate(statement, params, plans, naive, catalog)
+
+
+class SlowUpdateEngine(GCoreEngine):
+    """apply_update holds the engine write lock for a while."""
+
+    delay = 0.8
+
+    def apply_update(self, graph, delta, schema=None):
+        with self._lock:
+            time.sleep(self.delay)
+            return super().apply_update(graph, delta, schema)
+
+
+class TestQueryEndpoints:
+    def test_query_roundtrip(self, server):
+        status, body = http(server.url + "/query", {"query": PERSON_QUERY})
+        assert status == 200
+        assert body["kind"] == "table"
+        assert body["columns"] == ["n.name"]
+        assert body["rows"] == [[f"p{i}"] for i in range(6)]
+        assert body["row_count"] == 6
+        assert body["truncated"] is False
+        assert body["epochs"]["g"] >= 1
+
+    def test_construct_returns_graph_payload(self, server):
+        status, body = http(
+            server.url + "/query",
+            {"query": "CONSTRUCT (n) MATCH (n:Person) ON g"},
+        )
+        assert status == 200
+        assert body["kind"] == "graph"
+        assert body["node_count"] == 6
+        assert len(body["graph"]["nodes"]) == 6
+
+    def test_row_limit_sets_truncated_flag(self, server):
+        status, body = http(
+            server.url + "/query", {"query": PERSON_QUERY, "max_rows": 2}
+        )
+        assert status == 200
+        assert len(body["rows"]) == 2
+        assert body["row_count"] == 6  # full size still reported
+        assert body["truncated"] is True
+
+    def test_prepare_execute_flow(self, server):
+        status, prepared = http(
+            server.url + "/prepare",
+            {"query": "SELECT n.name MATCH (n:Person) ON g "
+                      "WHERE n.name = $who"},
+        )
+        assert status == 200
+        assert prepared["params"] == ["who"]
+        statement_id = prepared["statement_id"]
+        status, body = http(
+            server.url + "/execute",
+            {"statement_id": statement_id, "params": {"who": "p3"}},
+        )
+        assert status == 200
+        assert body["rows"] == [["p3"]]
+        assert body["statement_id"] == statement_id
+
+    def test_execute_unknown_statement_is_404(self, server):
+        status, body = http(
+            server.url + "/execute", {"statement_id": "stmt-404"}
+        )
+        assert status == 404
+        assert body["error"]["code"] == "not_found"
+
+    def test_execute_missing_param_is_400(self, server):
+        _status, prepared = http(
+            server.url + "/prepare",
+            {"query": "SELECT n.name MATCH (n:Person) ON g "
+                      "WHERE n.name = $who"},
+        )
+        status, body = http(
+            server.url + "/execute",
+            {"statement_id": prepared["statement_id"]},
+        )
+        assert status == 400
+        assert body["error"]["code"] == "evaluation_error"
+        assert "who" in body["error"]["message"]
+
+    def test_update_bumps_epoch_and_is_visible(self, server):
+        status, body = http(
+            server.url + "/update",
+            {"graph": "g", "ops": [
+                {"op": "add_node", "id": "p9", "labels": ["Person"],
+                 "properties": {"name": "p9"}},
+            ]},
+        )
+        assert status == 200
+        assert body["epoch"] == 2
+        assert body["node_count"] == 7
+        status, after = http(server.url + "/query", {"query": PERSON_QUERY})
+        assert ["p9"] in after["rows"]
+        assert after["epochs"]["g"] == 2
+
+    def test_explain_endpoint(self, server):
+        status, body = http(
+            server.url + "/explain?query=" + quote(PERSON_QUERY)
+        )
+        assert status == 200
+        assert isinstance(body["explain"], str) and body["explain"]
+
+    def test_stats_endpoint_shape(self, server):
+        http(server.url + "/query", {"query": PERSON_QUERY})
+        status, body = http(server.url + "/stats")
+        assert status == 200
+        assert {"plan_cache", "mvcc", "graphs", "admission",
+                "requests_total", "timeouts_total"} <= set(body)
+        assert body["mvcc"] == {"active_snapshots": 0,
+                                "retained_versions": 0}
+        (entry,) = body["graphs"]
+        assert entry["name"] == "g" and entry["kind"] == "base"
+
+
+class TestErrorEnvelopes:
+    def test_malformed_json_is_400_bad_request(self, server):
+        status, body = http_raw(server.url + "/query", b"{not json")
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+        assert body["error"]["status"] == 400
+
+    def test_non_object_body_is_400(self, server):
+        status, body = http_raw(server.url + "/query", b"[1, 2]")
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+
+    def test_unknown_graph_is_404_with_stable_code(self, server):
+        status, body = http(
+            server.url + "/query",
+            {"query": "SELECT n.name MATCH (n) ON nope"},
+        )
+        assert status == 404
+        assert body["error"]["code"] == "unknown_graph"
+
+    def test_parse_error_code(self, server):
+        status, body = http(server.url + "/query", {"query": "SELEC oops"})
+        assert status == 400
+        assert body["error"]["code"] == "parse_error"
+
+    def test_unknown_route_and_wrong_method(self, server):
+        status, body = http(server.url + "/nope")
+        assert status == 404
+        assert body["error"]["code"] == "not_found"
+        status, body = http(server.url + "/query")  # GET on a POST route
+        assert status == 405
+        assert body["error"]["code"] == "method_not_allowed"
+
+    def test_bad_update_op_rejected_before_apply(self, server):
+        status, body = http(
+            server.url + "/update",
+            {"graph": "g", "ops": [{"op": "warp_core_breach"}]},
+        )
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+        status, after = http(server.url + "/query", {"query": PERSON_QUERY})
+        assert after["epochs"]["g"] == 1  # nothing half-applied
+
+    def test_delta_conflict_maps_to_409(self, server):
+        status, body = http(
+            server.url + "/update",
+            {"graph": "g", "ops": [{"op": "remove_node", "id": "ghost"}]},
+        )
+        assert status == 409
+        assert body["error"]["code"] == "delta_error"
+
+    def test_invalid_timeout_and_row_limit_values(self, server):
+        for payload in (
+            {"query": PERSON_QUERY, "timeout_ms": 0},
+            {"query": PERSON_QUERY, "timeout_ms": "fast"},
+            {"query": PERSON_QUERY, "max_rows": 0},
+            {"query": PERSON_QUERY, "max_rows": True},
+        ):
+            status, body = http(server.url + "/query", payload)
+            assert status == 400
+            assert body["error"]["code"] == "bad_request"
+
+
+class TestAdmissionAndTimeouts:
+    def test_timeout_expiry_mid_query_is_408(self):
+        handle = run_in_thread(
+            make_engine(SlowQueryEngine), ServerConfig(port=0)
+        )
+        try:
+            status, body = http(
+                handle.url + "/query",
+                {"query": PERSON_QUERY, "timeout_ms": 100},
+            )
+            assert status == 408
+            assert body["error"]["code"] == "timeout"
+            # the abandoned worker finishes and frees its slot; the
+            # server keeps serving afterwards
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                _status, health = http(handle.url + "/health")
+                if health["in_flight"] == 0:
+                    break
+                time.sleep(0.05)
+            assert health["in_flight"] == 0
+            status, body = http(
+                handle.url + "/query",
+                {"query": PERSON_QUERY, "timeout_ms": 30_000},
+            )
+            assert status == 200
+            _status, stats = http(handle.url + "/stats")
+            assert stats["timeouts_total"] == 1
+        finally:
+            handle.stop()
+
+    def test_load_shedding_returns_503(self):
+        handle = run_in_thread(
+            make_engine(SlowQueryEngine),
+            ServerConfig(port=0, max_in_flight=1, max_queue=0),
+        )
+        try:
+            results = []
+
+            def slow_query():
+                results.append(
+                    http(handle.url + "/query", {"query": PERSON_QUERY})
+                )
+
+            occupant = threading.Thread(target=slow_query)
+            occupant.start()
+            # wait for the slow query to take the only slot
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                _status, health = http(handle.url + "/health")
+                if health["in_flight"] == 1:
+                    break
+                time.sleep(0.02)
+            assert health["in_flight"] == 1
+
+            status, body = http(
+                handle.url + "/query", {"query": PERSON_QUERY}
+            )
+            assert status == 503
+            assert body["error"]["code"] == "overloaded"
+
+            occupant.join(timeout=30)
+            assert results[0][0] == 200  # the occupant still succeeded
+            _status, stats = http(handle.url + "/stats")
+            assert stats["admission"]["shed_total"] == 1
+            # capacity is back
+            status, _body = http(
+                handle.url + "/query", {"query": PERSON_QUERY}
+            )
+            assert status == 200
+        finally:
+            handle.stop()
+
+    def test_health_stays_responsive_during_long_update(self):
+        handle = run_in_thread(
+            make_engine(SlowUpdateEngine), ServerConfig(port=0)
+        )
+        try:
+            update_result = []
+
+            def long_update():
+                update_result.append(http(
+                    handle.url + "/update",
+                    {"graph": "g", "ops": [
+                        {"op": "add_node", "id": "slow", "labels": ["Person"],
+                         "properties": {"name": "slow"}},
+                    ]},
+                ))
+
+            updater = threading.Thread(target=long_update)
+            updater.start()
+            # probe /health while the update holds the engine write lock
+            deadline = time.monotonic() + 10
+            probed = 0
+            while updater.is_alive() and time.monotonic() < deadline:
+                started = time.monotonic()
+                status, body = http(handle.url + "/health", timeout=2)
+                elapsed = time.monotonic() - started
+                assert status == 200 and body["status"] == "ok"
+                assert elapsed < 1.0, "health blocked behind the update"
+                probed += 1
+            updater.join(timeout=30)
+            assert probed >= 1
+            assert update_result[0][0] == 200
+        finally:
+            handle.stop()

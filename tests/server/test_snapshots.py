@@ -1,0 +1,314 @@
+"""MVCC: snapshot isolation, refcount pruning, concurrent consistency.
+
+Grown from the interleaved-update stress suite
+(``tests/integration/test_update_consistency.py``): where that suite
+checks that *sequential* update/query interleavings stay fresh, this one
+checks the opposite guarantee for *concurrent* readers — a snapshot
+pinned before an update keeps answering from its own catalog version
+(repeatable reads, never torn, never stale beyond the pin), and the
+superseded graph versions it pins are refcount-pruned the moment the
+last reader releases. See ``docs/consistency.md`` for the model.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro import GCoreEngine, GraphBuilder, GraphDelta
+from repro.errors import SemanticError
+
+# Workload mirrors tests/integration/test_update_consistency.py (tests
+# are not an importable package, so the helpers are restated here).
+SELECT_QUERY = (
+    "SELECT a.name, b.name MATCH (a:Person)-[e:knows]->(b:Person) "
+    "WHERE a.score = $s ORDER BY a.name, b.name"
+)
+
+
+def seed_graph(n=12, rng=None):
+    rng = rng or random.Random(7)
+    b = GraphBuilder(name="g")
+    names = [f"p{i}" for i in range(n)]
+    for i, node in enumerate(names):
+        b.add_node(node, labels=["Person"],
+                   properties={"name": node, "score": i % 3})
+    for j in range(2 * n):
+        b.add_edge(rng.choice(names), rng.choice(names), edge_id=f"e{j}",
+                   labels=["knows"])
+    return b.build()
+
+
+def random_delta(rng, graph, tag):
+    nodes = sorted(graph.nodes, key=str)
+    edges = sorted(graph.edges, key=str)
+    delta = GraphDelta()
+    kind = rng.choice(["grow", "shrink", "mutate"])
+    if kind == "grow" or not edges:
+        delta.add_node(f"q{tag}", labels=["Person"],
+                       properties={"name": f"q{tag}",
+                                   "score": rng.randint(0, 2)})
+        delta.add_edge(f"k{tag}", f"q{tag}", rng.choice(nodes),
+                       labels=["knows"])
+    elif kind == "shrink":
+        if rng.random() < 0.5 and len(nodes) > 4:
+            delta.remove_node(rng.choice(nodes))
+        else:
+            delta.remove_edge(rng.choice(edges))
+    else:
+        delta.set_property(rng.choice(nodes), "score", rng.randint(0, 2))
+    return delta
+
+
+COUNT_QUERY = "SELECT COUNT(*) AS n MATCH (a:Person) ON g"
+EDGE_QUERY = (
+    "SELECT a.name, b.name MATCH (a:Person)-[e:knows]->(b:Person) ON g "
+    "ORDER BY a.name, b.name"
+)
+
+
+def make_engine(seed=7):
+    engine = GCoreEngine()
+    engine.register_graph("g", seed_graph(rng=random.Random(seed)),
+                          default=True)
+    return engine
+
+
+class TestSnapshotIsolation:
+    def test_snapshot_pins_graph_version_across_updates(self):
+        engine = make_engine()
+        with engine.snapshot() as snap:
+            pinned_graph = snap.graph("g")
+            pinned_epoch = snap.epoch("g")
+            before = snap.run(COUNT_QUERY).rows
+            engine.apply_update(
+                "g", GraphDelta().add_node("zz", labels=["Person"],
+                                           properties={"name": "zz"}))
+            # the engine moved on ...
+            assert engine.catalog.epoch("g") == pinned_epoch + 1
+            assert "zz" in engine.graph("g").nodes
+            # ... the snapshot did not
+            assert snap.graph("g") is pinned_graph
+            assert snap.epoch("g") == pinned_epoch
+            assert snap.run(COUNT_QUERY).rows == before
+        # a fresh snapshot sees the new version
+        with engine.snapshot() as snap2:
+            assert "zz" in snap2.graph("g").nodes
+            assert snap2.epoch("g") == pinned_epoch + 1
+
+    def test_retained_versions_pruned_at_refcount_zero(self):
+        engine = make_engine()
+        assert engine.catalog.retained_version_count() == 0
+        snap = engine.snapshot()
+        engine.apply_update(
+            "g", GraphDelta().add_node("r1", labels=["Person"],
+                                       properties={"name": "r1"}))
+        # the superseded version is retained while the reader holds it
+        assert engine.catalog.retained_version_count("g") == 1
+        assert engine.mvcc_info() == {"active_snapshots": 1,
+                                      "retained_versions": 1}
+        snap.release()
+        assert engine.catalog.retained_version_count() == 0
+        assert engine.mvcc_info() == {"active_snapshots": 0,
+                                      "retained_versions": 0}
+
+    def test_release_is_idempotent(self):
+        engine = make_engine()
+        snap = engine.snapshot()
+        snap.release()
+        snap.release()
+        assert engine.mvcc_info()["active_snapshots"] == 0
+        # reads remain usable after release (references still held)
+        assert snap.run(COUNT_QUERY).rows
+
+    def test_overlapping_snapshots_pin_distinct_epochs(self):
+        engine = make_engine()
+        snaps = []
+        for step in range(4):
+            snaps.append(engine.snapshot())
+            engine.apply_update(
+                "g", GraphDelta().add_node(f"s{step}", labels=["Person"],
+                                           properties={"name": f"s{step}"}))
+        epochs = [snap.epoch("g") for snap in snaps]
+        assert epochs == sorted(epochs) and len(set(epochs)) == 4
+        counts = [snap.run(COUNT_QUERY).rows[0][0] for snap in snaps]
+        assert counts == [counts[0] + i for i in range(4)]
+        # every snapshot was followed by an update, so all four pinned
+        # versions are superseded and retained
+        assert engine.catalog.retained_version_count("g") == 4
+        for snap in snaps:
+            snap.release()
+        assert engine.catalog.retained_version_count() == 0
+
+    def test_shared_epoch_pruned_only_after_last_reader(self):
+        engine = make_engine()
+        first = engine.snapshot()
+        second = engine.snapshot()
+        engine.apply_update(
+            "g", GraphDelta().add_node("x1", labels=["Person"],
+                                       properties={"name": "x1"}))
+        assert engine.catalog.retained_version_count("g") == 1
+        first.release()
+        assert engine.catalog.retained_version_count("g") == 1
+        second.release()
+        assert engine.catalog.retained_version_count("g") == 0
+
+    def test_snapshot_rejects_catalog_writes(self):
+        engine = make_engine()
+        with engine.snapshot() as snap:
+            with pytest.raises(SemanticError):
+                snap.run("GRAPH VIEW v AS (CONSTRUCT (n) MATCH (n:Person))")
+
+    def test_snapshot_explain_matches_engine_explain(self):
+        engine = make_engine()
+        with engine.snapshot() as snap:
+            assert snap.explain(EDGE_QUERY) == engine.explain(EDGE_QUERY)
+
+
+class TestPreparedUnderSupersede:
+    def test_prepared_query_on_pinned_snapshot_survives_update(self):
+        """Regression: a reader executing a prepared query while
+        ``apply_update`` supersedes its graph must serve the pinned
+        epoch — not error, not see the new data."""
+        engine = make_engine()
+        prepared = engine.prepare(SELECT_QUERY)
+        snap = engine.snapshot()
+        baseline = {
+            s: snap.execute_prepared(prepared, params={"s": s}).rows
+            for s in (0, 1, 2)
+        }
+        # supersede the pinned graph; purges the prepared query's plan
+        # memos for the old graph object
+        engine.apply_update(
+            "g", GraphDelta().add_node("q0", labels=["Person"],
+                                       properties={"name": "q0", "score": 0}))
+        engine.run(SELECT_QUERY, params={"s": 0})  # replan on new graph
+        for s in (0, 1, 2):
+            again = snap.execute_prepared(prepared, params={"s": s}).rows
+            assert again == baseline[s], f"s={s} drifted after update"
+        snap.release()
+        # and the current engine sees the new node
+        fresh = engine.run(SELECT_QUERY, params={"s": 0})
+        assert fresh.rows != baseline[0] or "q0" not in str(baseline[0])
+
+    def test_plan_cache_purge_concurrent_with_readers(self):
+        """PlanCache.purge_graph racing reader lookups must never drop a
+        reader into an error: misses re-plan against the pinned graph."""
+        engine = make_engine()
+        prepared = engine.prepare(EDGE_QUERY)
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            with engine.snapshot() as snap:
+                expected = snap.execute_prepared(prepared).rows
+                while not stop.is_set():
+                    try:
+                        got = snap.execute_prepared(prepared).rows
+                    except Exception as error:  # noqa: BLE001 - recorded
+                        errors.append(repr(error))
+                        return
+                    if got != expected:
+                        errors.append("pinned result drifted")
+                        return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        rng = random.Random(13)
+        try:
+            for step in range(30):
+                delta = random_delta(rng, engine.graph("g"), step)
+                engine.apply_update("g", delta)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not errors, errors
+        assert engine.catalog.retained_version_count() == 0
+
+
+class TestConcurrentConsistencyHarness:
+    """The multi-client harness: N readers vs. M writers, cross-checked."""
+
+    READERS = 4
+    WRITERS = 2
+    STEPS = 15
+
+    def test_readers_never_see_torn_or_stale_beyond_pin_snapshots(self):
+        engine = make_engine(seed=23)
+        engine.prepare(EDGE_QUERY)
+        start = threading.Barrier(self.READERS + self.WRITERS)
+        done_writing = threading.Event()
+        failures = []
+
+        def reader(index):
+            rng = random.Random(1000 + index)
+            start.wait()
+            while not done_writing.is_set() or rng.random() < 0.5:
+                with engine.snapshot() as snap:
+                    pinned = snap.graph("g")
+                    epoch = snap.epoch("g")
+                    # two reads inside one snapshot must agree with each
+                    # other and with an oracle over the pinned graph
+                    first = snap.run(EDGE_QUERY).rows
+                    second = snap.run(EDGE_QUERY).rows
+                    if first != second:
+                        failures.append(f"reader {index}: torn read")
+                        return
+                    oracle = GCoreEngine()
+                    oracle.register_graph("g", pinned, default=True)
+                    expected = oracle.run(EDGE_QUERY).rows
+                    if first != expected:
+                        failures.append(
+                            f"reader {index}: snapshot at epoch {epoch} "
+                            f"disagrees with its own pinned graph"
+                        )
+                        return
+                    if snap.graph("g") is not pinned:
+                        failures.append(f"reader {index}: pin moved")
+                        return
+                if done_writing.is_set():
+                    return
+
+        def writer(index):
+            rng = random.Random(2000 + index)
+            start.wait()
+            for step in range(self.STEPS):
+                tag = f"{index}_{step}"
+                for attempt in range(20):
+                    delta = random_delta(rng, engine.graph("g"), tag)
+                    try:
+                        engine.apply_update("g", delta)
+                        break
+                    except Exception:
+                        # concurrent writer removed our chosen node/edge
+                        # between graph() and apply; retry with a fresh
+                        # view of the graph
+                        continue
+
+        threads = [
+            threading.Thread(target=reader, args=(i,), name=f"reader-{i}")
+            for i in range(self.READERS)
+        ] + [
+            threading.Thread(target=writer, args=(i,), name=f"writer-{i}")
+            for i in range(self.WRITERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            if thread.name.startswith("writer"):
+                thread.join(timeout=120)
+        done_writing.set()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not any(thread.is_alive() for thread in threads)
+        assert not failures, failures
+
+        # every reader released: all retained versions pruned
+        assert engine.mvcc_info() == {"active_snapshots": 0,
+                                      "retained_versions": 0}
+        # and the final graph is coherent with a from-scratch oracle
+        oracle = GCoreEngine()
+        oracle.register_graph("g", engine.graph("g"), default=True)
+        assert engine.run(EDGE_QUERY).rows == oracle.run(EDGE_QUERY).rows

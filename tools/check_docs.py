@@ -1,0 +1,242 @@
+"""Documentation checker: links, anchors, and executable examples.
+
+Two passes, both run by the CI ``docs`` job (and the tier-1 smoke in
+``tests/docs/test_docs.py``):
+
+1. **Links & anchors** — every relative markdown link in ``README.md``
+   and ``docs/*.md`` must point at an existing file, and every
+   ``#fragment`` (in-page or cross-page) must match a heading's GitHub
+   anchor slug. External ``http(s)`` links are not fetched (CI must not
+   depend on the network), and links that resolve outside the repo
+   (e.g. the CI badge) are skipped.
+
+2. **Examples** — fenced ``bash`` / ``python`` blocks in
+   ``docs/http-api.md`` marked with ``<!-- docs-check: run -->`` are
+   executed, in document order, against a **live server** booted
+   in-process on an ephemeral port; the documented address
+   ``localhost:7687`` is substituted with the real one. A non-zero exit
+   (curl ``-sf`` turns HTTP errors into exit codes) fails the check, so
+   the API reference cannot drift from the implementation.
+
+Usage::
+
+    python tools/check_docs.py --links-only
+    PYTHONPATH=src python tools/check_docs.py        # links + examples
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# [text](target) — excluding images' leading "!" is handled at use site.
+_LINK_RE = re.compile(r"(!?)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_FENCE_RE = re.compile(r"^(```+|~~~+)\s*([A-Za-z0-9_+-]*)\s*$")
+_RUN_MARKER = "<!-- docs-check: run -->"
+_DOC_ADDRESS = "localhost:7687"
+
+
+def _strip_code(markdown: str) -> List[str]:
+    """The document's lines with fenced-code bodies blanked out."""
+    lines = []
+    fence = None
+    for line in markdown.splitlines():
+        match = _FENCE_RE.match(line.strip())
+        if fence is None and match:
+            fence = match.group(1)[0] * 3
+            lines.append("")
+            continue
+        if fence is not None:
+            if line.strip().startswith(fence):
+                fence = None
+            lines.append("")
+            continue
+        lines.append(line)
+    return lines
+
+
+def github_anchor(heading: str) -> str:
+    """The GitHub anchor slug for a heading's text."""
+    # inline code/links inside headings contribute their text only
+    text = re.sub(r"[`*_]", "", heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    slug = []
+    for char in text.lower():
+        if char.isalnum():
+            slug.append(char)
+        elif char in (" ", "-"):
+            slug.append("-")
+        # all other punctuation is dropped
+    return "".join(slug)
+
+
+def collect_anchors(path: Path) -> List[str]:
+    """All heading anchors of a markdown file (with -1/-2 dedup)."""
+    counts: Dict[str, int] = {}
+    anchors: List[str] = []
+    for line in _strip_code(path.read_text(encoding="utf-8")):
+        match = _HEADING_RE.match(line)
+        if not match:
+            continue
+        base = github_anchor(match.group(2))
+        seen = counts.get(base, 0)
+        counts[base] = seen + 1
+        anchors.append(base if seen == 0 else f"{base}-{seen}")
+    return anchors
+
+
+def check_links(files: List[Path]) -> List[str]:
+    """Validate every relative link and anchor; returns error strings."""
+    errors: List[str] = []
+    anchor_cache: Dict[Path, List[str]] = {}
+
+    def anchors_of(path: Path) -> List[str]:
+        if path not in anchor_cache:
+            anchor_cache[path] = collect_anchors(path)
+        return anchor_cache[path]
+
+    for source in files:
+        content = "\n".join(_strip_code(source.read_text(encoding="utf-8")))
+        for match in _LINK_RE.finditer(content):
+            is_image, target = match.group(1) == "!", match.group(2)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue  # external: not fetched (no network in CI)
+            path_part, _sep, fragment = target.partition("#")
+            if path_part:
+                resolved = (source.parent / path_part).resolve()
+                try:
+                    resolved.relative_to(REPO_ROOT)
+                except ValueError:
+                    continue  # escapes the repo (e.g. the CI badge URL)
+                if not resolved.exists():
+                    errors.append(
+                        f"{source.relative_to(REPO_ROOT)}: broken link "
+                        f"-> {target}"
+                    )
+                    continue
+            else:
+                resolved = source
+            if fragment and not is_image:
+                if resolved.suffix != ".md":
+                    continue
+                if fragment not in anchors_of(resolved):
+                    errors.append(
+                        f"{source.relative_to(REPO_ROOT)}: broken anchor "
+                        f"-> {target}"
+                    )
+    return errors
+
+
+def extract_runnable(path: Path) -> List[Tuple[str, int, str]]:
+    """(language, line_number, code) for each marked fenced block."""
+    blocks: List[Tuple[str, int, str]] = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    index = 0
+    while index < len(lines):
+        if lines[index].strip() == _RUN_MARKER:
+            probe = index + 1
+            while probe < len(lines) and not lines[probe].strip():
+                probe += 1
+            match = _FENCE_RE.match(lines[probe].strip()) if probe < len(lines) else None
+            if match:
+                language = match.group(2) or "bash"
+                fence = match.group(1)[0] * 3
+                body = []
+                probe += 1
+                while probe < len(lines) and not lines[probe].strip().startswith(fence):
+                    body.append(lines[probe])
+                    probe += 1
+                blocks.append((language, index + 1, "\n".join(body)))
+                index = probe
+        index += 1
+    return blocks
+
+
+def run_examples(doc: Path) -> List[str]:
+    """Execute the marked examples against a live in-process server."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.server import ServerConfig, run_in_thread
+    from repro.server.__main__ import build_engine
+
+    blocks = extract_runnable(doc)
+    if not blocks:
+        return [f"{doc.relative_to(REPO_ROOT)}: no runnable examples found"]
+
+    errors: List[str] = []
+    handle = run_in_thread(
+        build_engine("paper", seed=7, persons=200), ServerConfig(port=0)
+    )
+    address = f"127.0.0.1:{handle.server.port}"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    try:
+        for language, line, code in blocks:
+            code = code.replace(_DOC_ADDRESS, address)
+            if language == "bash":
+                command = ["bash", "-euo", "pipefail", "-c", code]
+            elif language == "python":
+                command = [sys.executable, "-c", code]
+            else:
+                errors.append(
+                    f"{doc.name}:{line}: unsupported example language "
+                    f"{language!r}"
+                )
+                continue
+            proc = subprocess.run(
+                command, capture_output=True, text=True, timeout=60,
+                env=env, cwd=str(REPO_ROOT),
+            )
+            if proc.returncode != 0:
+                errors.append(
+                    f"{doc.name}:{line}: {language} example exited "
+                    f"{proc.returncode}\n--- stdout ---\n{proc.stdout}"
+                    f"\n--- stderr ---\n{proc.stderr}"
+                )
+            else:
+                print(f"  ok  {doc.name}:{line} ({language})")
+    finally:
+        handle.stop()
+    return errors
+
+
+def doc_files() -> List[Path]:
+    return [REPO_ROOT / "README.md"] + sorted(
+        (REPO_ROOT / "docs").glob("*.md")
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--links-only", action="store_true",
+        help="skip executing the documented examples",
+    )
+    args = parser.parse_args(argv)
+
+    files = doc_files()
+    print(f"checking links/anchors in {len(files)} files ...")
+    errors = check_links(files)
+
+    if not args.links_only:
+        print("executing documented examples against a live server ...")
+        errors += run_examples(REPO_ROOT / "docs" / "http-api.md")
+
+    if errors:
+        print(f"\n{len(errors)} problem(s):", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    print("docs check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
