@@ -13,7 +13,8 @@ Usage::
 
 import os
 
-from repro import GCoreEngine
+from repro import DEFAULT_CONFIG, GCoreEngine
+from repro.config import ExecutionConfig
 from repro.datasets.generator import SnbParameters, generate_snb_graph
 
 QUERIES = [
@@ -36,6 +37,10 @@ QUERIES = [
 
 def main():
     persons = int(os.environ.get("BENCH_PERSONS", "100"))
+    workers = os.environ.get("BENCH_WORKERS")
+    config = DEFAULT_CONFIG
+    if workers:
+        config = ExecutionConfig(parallelism=int(workers))
     engine = GCoreEngine()
     graph = generate_snb_graph(SnbParameters(persons=persons, seed=21))
     engine.register_graph("snb", graph, default=True)
@@ -44,10 +49,11 @@ def main():
     )
     print(f"# EXPLAIN dump @ snb graph, persons={persons}")
     print(f"# nodes={len(graph.nodes)} edges={len(graph.edges)}")
+    print(f"# active config: {config.describe()}")
     for query in QUERIES:
         print()
         print(f"## {query}")
-        print(engine.explain(query))
+        print(engine.explain(query, config=config))
 
 
 if __name__ == "__main__":

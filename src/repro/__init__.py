@@ -28,6 +28,7 @@ Quickstart::
     print(g.describe())
 """
 
+from .config import DEFAULT_CONFIG, NAIVE_CONFIG, ExecutionConfig
 from .engine import EngineSnapshot, GCoreEngine
 from .errors import (
     CostError,
@@ -54,7 +55,10 @@ from .table import Table
 __version__ = "1.0.0"
 
 __all__ = [
+    "DEFAULT_CONFIG",
+    "NAIVE_CONFIG",
     "EngineSnapshot",
+    "ExecutionConfig",
     "GCoreEngine",
     "GraphBuilder",
     "GraphDelta",

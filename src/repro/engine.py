@@ -50,10 +50,12 @@ materializations *incrementally* refreshable — see
 from __future__ import annotations
 
 import threading
+import warnings
 from collections import OrderedDict
 from typing import Dict, List, Optional, Set, Union
 
 from .catalog import Catalog, CatalogSnapshot
+from .config import DEFAULT_CONFIG, NAIVE_CONFIG, ExecutionConfig
 from .errors import (
     EvaluationError,
     SemanticError,
@@ -73,6 +75,29 @@ from .table import Table
 from .algebra.binding import BindingTable
 
 __all__ = ["EngineSnapshot", "GCoreEngine", "PreparedQuery"]
+
+
+def _resolve_config(
+    config: Optional[ExecutionConfig], naive: bool
+) -> ExecutionConfig:
+    """Fold the deprecated ``naive=True`` flag into an ExecutionConfig.
+
+    An explicit *config* always wins; ``naive=True`` without one maps to
+    :data:`~repro.config.NAIVE_CONFIG` (the full reference column it
+    historically selected) and warns.
+    """
+    if naive:
+        warnings.warn(
+            "naive=True is deprecated; pass "
+            "config=ExecutionConfig(planner='naive', executor='reference', "
+            "expressions='interpreted', paths='naive') "
+            "(repro.config.NAIVE_CONFIG) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if config is None:
+            return NAIVE_CONFIG
+    return config if config is not None else DEFAULT_CONFIG
 
 
 def _collect_params(node, names: Set[str]) -> None:
@@ -112,14 +137,28 @@ class PreparedQuery:
         self.plans = PlanCache()
         self.executions = 0
 
-    def run(self, params: Optional[dict] = None) -> QueryResult:
-        """Execute the prepared statement (optionally with parameters)."""
+    def run(
+        self,
+        params: Optional[dict] = None,
+        config: Optional[ExecutionConfig] = None,
+    ) -> QueryResult:
+        """Execute the prepared statement (optionally with parameters).
+
+        *config* pins the execution-mode lattice point for this run. A
+        non-default config skips the memoized atom orderings: the cached
+        permutations were chosen by the default planner mode, and
+        replaying them under another mode would corrupt the ablation.
+        """
         missing = self.param_names - set(params or ())
         if missing:
             raise EvaluationError(
                 f"missing query parameters: {sorted(missing)}"
             )
         self.executions += 1
+        if config is not None and config != DEFAULT_CONFIG:
+            return self.engine._execute(
+                self.statement, params, plans=None, config=config
+            )
         return self.engine._execute(self.statement, params, plans=self.plans)
 
     def explain(self) -> str:
@@ -179,17 +218,28 @@ class EngineSnapshot:
         return self.catalog.released
 
     # -- reads ----------------------------------------------------------
-    def run(self, text: str, params: Optional[dict] = None) -> QueryResult:
+    def run(
+        self,
+        text: str,
+        params: Optional[dict] = None,
+        config: Optional[ExecutionConfig] = None,
+    ) -> QueryResult:
         """Execute one read-only statement against the pinned catalog.
 
         Shares the engine's prepared-query LRU (parsing and planning are
         memoized across snapshots; atom orderings are keyed by graph
         object identity, so plans never leak between catalog versions).
+        *config* pins the execution-mode lattice point for this run.
         """
-        return self.execute_prepared(self.engine.prepare(str(text)), params)
+        return self.execute_prepared(
+            self.engine.prepare(str(text)), params, config=config
+        )
 
     def execute_prepared(
-        self, prepared: PreparedQuery, params: Optional[dict] = None
+        self,
+        prepared: PreparedQuery,
+        params: Optional[dict] = None,
+        config: Optional[ExecutionConfig] = None,
     ) -> QueryResult:
         """Execute a :class:`PreparedQuery` against the pinned catalog."""
         if isinstance(prepared.statement, ast.GraphViewStmt):
@@ -203,9 +253,12 @@ class EngineSnapshot:
                 f"missing query parameters: {sorted(missing)}"
             )
         prepared.executions += 1
+        plans = prepared.plans
+        if config is not None and config != DEFAULT_CONFIG:
+            plans = None  # mode-pinned runs never replay default-mode plans
         return self.engine._execute(
-            prepared.statement, params, plans=prepared.plans,
-            catalog=self.catalog,
+            prepared.statement, params, plans=plans,
+            catalog=self.catalog, config=config,
         )
 
     def graph(self, name: str) -> PathPropertyGraph:
@@ -377,7 +430,10 @@ class GCoreEngine:
             self.clear_plan_cache()
 
     def refresh_view(
-        self, name: str, incremental: bool = True
+        self,
+        name: str,
+        incremental: bool = True,
+        config: Optional[ExecutionConfig] = None,
     ) -> PathPropertyGraph:
         """Bring a GRAPH VIEW up to date with its base graphs.
 
@@ -390,14 +446,18 @@ class GCoreEngine:
         — path atoms, aggregates, OPTIONAL, a wholesale
         ``register_graph`` replacement — falls back to from-scratch
         recomputation, which ``incremental=False`` also forces (the
-        reference oracle the property suite compares against). A view
-        whose dependencies did not change is returned as-is. Returns the
-        current materialization.
+        reference oracle the property suite compares against), as does a
+        *config* with ``view_refresh="full"``. A view whose dependencies
+        did not change is returned as-is. Returns the current
+        materialization.
         """
         from .eval.maintenance import refresh_view as run_refresh
 
+        config = config if config is not None else DEFAULT_CONFIG
+        if config.view_refresh == "full":
+            incremental = False
         with self._lock:
-            ctx = EvalContext(self.catalog, self._ids)
+            ctx = EvalContext(self.catalog, self._ids, config=config)
             result, strategy = run_refresh(name, ctx, incremental=incremental)
             if strategy != "unchanged":
                 self.clear_plan_cache()
@@ -497,6 +557,7 @@ class GCoreEngine:
         text_or_statement: Union[str, ast.Statement],
         params: Optional[dict] = None,
         naive: bool = False,
+        config: Optional[ExecutionConfig] = None,
     ) -> QueryResult:
         """Execute one G-CORE statement and return its result.
 
@@ -505,15 +566,22 @@ class GCoreEngine:
         ``params`` supplies values for ``$name`` query parameters. Text
         input goes through the prepared-query cache: running the same
         query text again skips lexing, parsing and planning.
-        ``naive=True`` runs the syntax-order planner *and* the
-        row-at-a-time reference executor — the ablation baseline the
-        columnar pipeline is property-tested against (it bypasses the
-        prepared-query cache).
+
+        *config* (an :class:`~repro.config.ExecutionConfig`) pins the
+        execution-mode lattice point — planner, executor, expression
+        engine, path engine, view refresh, and worker-pool parallelism.
+        Non-default configs bypass the prepared-query cache so cached
+        default-mode plans never leak into pinned runs. ``naive=True``
+        is a deprecated alias for ``config=NAIVE_CONFIG`` (syntax-order
+        planner plus the full row-at-a-time reference column).
         """
+        config = _resolve_config(config, naive)
         if isinstance(text_or_statement, (ast.Query, ast.GraphViewStmt)):
-            return self._execute(text_or_statement, params, naive=naive)
-        if naive:
-            return self._execute(self.parse(str(text_or_statement)), params, naive=True)
+            return self._execute(text_or_statement, params, config=config)
+        if config != DEFAULT_CONFIG:
+            return self._execute(
+                self.parse(str(text_or_statement)), params, config=config
+            )
         prepared = self.prepare(str(text_or_statement))
         return prepared.run(params)
 
@@ -524,23 +592,24 @@ class GCoreEngine:
         plans: Optional[PlanCache] = None,
         naive: bool = False,
         catalog: Optional[CatalogSnapshot] = None,
+        config: Optional[ExecutionConfig] = None,
     ) -> QueryResult:
+        config = _resolve_config(config, naive)
         if catalog is None and isinstance(statement, ast.GraphViewStmt):
             # GRAPH VIEW registers a materialization: a catalog write,
             # serialized like every other mutation.
             with self._lock:
-                return self._evaluate(statement, params, plans, naive,
+                return self._evaluate(statement, params, plans, config,
                                       self.catalog)
-        return self._evaluate(statement, params, plans, naive,
+        return self._evaluate(statement, params, plans, config,
                               catalog if catalog is not None else self.catalog)
 
     def _evaluate(
-        self, statement, params, plans, naive, catalog
+        self, statement, params, plans, config, catalog
     ) -> QueryResult:
-        ctx = EvalContext(catalog, self._ids)
+        ctx = EvalContext(catalog, self._ids, config=config)
         if params:
             ctx.params = dict(params)
-        ctx.naive_planner = naive
         ctx.plan_cache = plans
         result = evaluate_statement(statement, ctx)
         if isinstance(result, ViewResult):
@@ -588,23 +657,32 @@ class GCoreEngine:
     # ------------------------------------------------------------------
     # Introspection helpers
     # ------------------------------------------------------------------
-    def bindings(self, match_text: str, naive: bool = False) -> BindingTable:
+    def bindings(
+        self,
+        match_text: str,
+        naive: bool = False,
+        config: Optional[ExecutionConfig] = None,
+    ) -> BindingTable:
         """Evaluate a standalone ``MATCH ...`` fragment to a binding table.
 
         This mirrors the binding tables the paper prints in Section 3 and
         is used heavily by the reproduction tests and benchmarks.
-        ``naive=True`` selects the syntax-order planner and row-at-a-time
-        reference executor (the columnar pipeline's oracle).
+        *config* pins the execution-mode lattice point; ``naive=True`` is
+        the deprecated alias for the full reference column.
         """
         parser = Parser(tokenize(match_text))
         match = parser._match_clause()
         parser.expect_eof()
-        ctx = EvalContext(self.catalog, self._ids)
-        ctx.naive_planner = naive
+        ctx = EvalContext(
+            self.catalog, self._ids, config=_resolve_config(config, naive)
+        )
         return evaluate_match(match, ctx)
 
     def explain(
-        self, text: str, catalog: Optional[CatalogSnapshot] = None
+        self,
+        text: str,
+        catalog: Optional[CatalogSnapshot] = None,
+        config: Optional[ExecutionConfig] = None,
     ) -> str:
         """A human-readable sketch of how a query would be evaluated.
 
@@ -615,7 +693,9 @@ class GCoreEngine:
         atom's probe, which apply as post-atom filters, and which remain
         residual at block end. The header reports whether the query text
         currently sits in the prepared-query cache (``plan: cached`` vs
-        ``plan: cold``). *catalog* pins name resolution to a snapshot
+        ``plan: cold``) and the :class:`~repro.config.ExecutionConfig`
+        lattice point the run would execute at (``config: ...``).
+        *catalog* pins name resolution to a snapshot
         (:meth:`EngineSnapshot.explain` passes it).
         """
         from .eval.match import decompose_chain, _AnonNamer
@@ -630,7 +710,11 @@ class GCoreEngine:
         else:
             query = statement
         cached = "cached" if self.is_plan_cached(text) else "cold"
-        lines: List[str] = [f"plan: {cached}"]
+        active = config if config is not None else DEFAULT_CONFIG
+        lines: List[str] = [
+            f"plan: {cached}",
+            f"config: {active.describe()}",
+        ]
         if isinstance(statement, ast.GraphViewStmt):
             from .eval.maintenance import analyze_view, describe_strategy
 

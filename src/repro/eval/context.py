@@ -15,6 +15,7 @@ import itertools
 from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from ..catalog import Catalog
+from ..config import DEFAULT_CONFIG, ExecutionConfig
 from ..errors import EvaluationError, UnknownGraphError
 from ..model.graph import ObjectId, PathPropertyGraph
 from ..model.values import ValueSet
@@ -66,10 +67,16 @@ class EvalContext:
         catalog: Catalog,  # or a read-only CatalogSnapshot (same read API)
         id_factory: Optional[IdFactory] = None,
         depth: int = 0,
+        config: Optional[ExecutionConfig] = None,
     ) -> None:
         self.catalog = catalog
         self.ids = id_factory or IdFactory()
         self.depth = depth
+        # The engine-mode lattice point this evaluation runs at. One
+        # frozen value replaces the old Optional[bool] tri-state flag
+        # sprawl; the legacy flag names below remain as properties that
+        # rewrite the config (each carries its historical cascade).
+        self.config: ExecutionConfig = config or DEFAULT_CONFIG
         # Values for $name query parameters (engine.run(..., params=...)).
         self.params: Dict[str, Any] = {}
         # Query-local graph bindings (GRAPH name AS (...)) and path views.
@@ -80,23 +87,6 @@ class EvalContext:
         # The graph of the current block's first pattern (used by ON-less
         # patterns and WHERE pattern predicates).
         self.current_graph: Optional[PathPropertyGraph] = None
-        # Disable the greedy atom ordering (syntax-order evaluation); the
-        # planner-ablation benchmark (EXP-B1) flips this.
-        self.naive_planner: bool = False
-        # Use graph statistics for cost-based ordering (the default);
-        # False falls back to the constant-weight heuristic, which is the
-        # other arm of the EXP-B1 ablation.
-        self.use_cost_planner: bool = True
-        # Executor choice: True forces the columnar pipeline, False the
-        # row-at-a-time reference executor, None (default) derives it
-        # from the planner mode (naive planner -> reference executor).
-        self.columnar_executor: Optional[bool] = None
-        # Expression-engine choice: True compiles WHERE / SELECT /
-        # GROUP BY expressions to columnar kernels (repro.eval.kernels),
-        # False keeps the row-at-a-time ExpressionEvaluator oracle, None
-        # (default) rides with the executor choice. Flipping only this
-        # flag isolates the expression engine in ablations.
-        self.vectorized_expressions: Optional[bool] = None
         # Memoized atom orderings, installed by PreparedQuery executions
         # (see repro.eval.planner.PlanCache); None = plan every block.
         self.plan_cache = None
@@ -121,16 +111,14 @@ class EvalContext:
         """A nested context for subqueries (shares catalog, ids, locals)."""
         if self.depth + 1 > _MAX_DEPTH:
             raise EvaluationError("query nesting too deep")
-        child = EvalContext(self.catalog, self.ids, self.depth + 1)
+        child = EvalContext(
+            self.catalog, self.ids, self.depth + 1, config=self.config
+        )
         child.params = self.params
         child.local_graphs = dict(self.local_graphs)
         child.local_path_views = dict(self.local_path_views)
         child.active_graphs = list(self.active_graphs)
         child.current_graph = self.current_graph
-        child.naive_planner = self.naive_planner
-        child.use_cost_planner = self.use_cost_planner
-        child.columnar_executor = self.columnar_executor
-        child.vectorized_expressions = self.vectorized_expressions
         child.plan_cache = self.plan_cache
         child.overlay_labels = self.overlay_labels
         child.overlay_props = self.overlay_props
@@ -138,17 +126,88 @@ class EvalContext:
         return child
 
     def use_vectorized(self) -> bool:
-        """Whether expressions evaluate through compiled columnar kernels.
+        """Whether expressions evaluate through compiled columnar kernels."""
+        return self.config.expressions == "vectorized"
 
-        Defaults follow the executor: the columnar pipeline gets the
-        vectorized expression engine, the ``naive=True`` reference path
-        keeps the interpreted oracle.
-        """
-        if self.vectorized_expressions is not None:
-            return self.vectorized_expressions
-        if self.columnar_executor is not None:
-            return self.columnar_executor
-        return not self.naive_planner
+    # ------------------------------------------------------------------
+    # Legacy mode flags — properties over ``self.config``.
+    #
+    # Before ExecutionConfig these were independent attributes whose
+    # *unset* states derived lazily from one another (vectorized
+    # expressions followed the executor, the executor followed the
+    # planner mode). The setters below apply the same derivations
+    # eagerly, so flag-twiddling call sites (ablation benchmarks, the
+    # oracle property suites) keep their exact historical semantics:
+    # a later explicit assignment always overrides an earlier cascade.
+    # ------------------------------------------------------------------
+    @property
+    def naive_planner(self) -> bool:
+        """True when atoms evaluate in syntax order (the full oracle)."""
+        return self.config.planner == "naive"
+
+    @naive_planner.setter
+    def naive_planner(self, value: bool) -> None:
+        if value:
+            # naive=True historically selected the whole reference
+            # column: syntax order, row-at-a-time executor, interpreted
+            # expressions, per-row path search.
+            self.config = self.config.with_(
+                planner="naive",
+                executor="reference",
+                expressions="interpreted",
+                paths="naive",
+            )
+        elif self.config.planner == "naive":
+            self.config = self.config.with_(
+                planner="cost",
+                executor="columnar",
+                expressions="vectorized",
+                paths="batched",
+            )
+
+    @property
+    def use_cost_planner(self) -> bool:
+        """True when atom ordering uses graph statistics."""
+        return self.config.planner == "cost"
+
+    @use_cost_planner.setter
+    def use_cost_planner(self, value: bool) -> None:
+        if self.config.planner == "naive":
+            return  # naive overrides the cost/greedy choice (historical)
+        self.config = self.config.with_(
+            planner="cost" if value else "greedy"
+        )
+
+    @property
+    def columnar_executor(self) -> bool:
+        """True when MATCH runs the columnar pipeline."""
+        return self.config.executor == "columnar"
+
+    @columnar_executor.setter
+    def columnar_executor(self, value: bool) -> None:
+        if value:
+            # Expressions and the path engine rode with the executor
+            # when not explicitly pinned (see the cascade note above).
+            self.config = self.config.with_(
+                executor="columnar", expressions="vectorized",
+                paths="batched",
+            )
+        else:
+            self.config = self.config.with_(
+                executor="reference", expressions="interpreted",
+                paths="naive",
+            )
+
+    @property
+    def vectorized_expressions(self) -> bool:
+        """True when expressions compile to columnar kernels."""
+        return self.config.expressions == "vectorized"
+
+    @vectorized_expressions.setter
+    def vectorized_expressions(self, value: bool) -> None:
+        self.config = self.config.with_(
+            expressions="vectorized" if value else "interpreted"
+        )
 
     # ------------------------------------------------------------------
     def resolve_graph(self, name: str) -> PathPropertyGraph:

@@ -56,7 +56,13 @@ from ..model.values import (
 from ..paths.walk import Walk
 from .expressions import ExpressionEvaluator, expr_has_aggregate
 
-__all__ = ["ExpressionCompiler", "GroupSpec", "Kernel", "KernelContext"]
+__all__ = [
+    "ExpressionCompiler",
+    "GroupSpec",
+    "Kernel",
+    "KernelContext",
+    "compiled_filter_rows",
+]
 
 #: A compiled kernel: evaluates one expression for a batch of units.
 #: Scalar kernels take row indices; grouped kernels take GroupSpecs.
@@ -117,6 +123,34 @@ class KernelContext:
         if self._maximal_mask is None:
             self._maximal_mask = presence_mask(self.table, self.maximal_domain or ())
         return self._maximal_mask
+
+
+def compiled_filter_rows(
+    table: BindingTable,
+    ctx,
+    conjuncts: Sequence[ast.Expr],
+    compiler: Optional["ExpressionCompiler"] = None,
+) -> List[int]:
+    """Surviving row indices of *table* under a compiled WHERE conjunction.
+
+    Conjuncts run in order over a narrowing index set — the batched
+    mirror of the oracle's short-circuiting AND, so a row never reaches
+    a conjunct the oracle would have short-circuited away (error
+    semantics included). Both the serial block evaluator and the morsel
+    filter workers (:mod:`repro.eval.parallel`) call exactly this
+    function, which is why a row-partitioned filter is bit-identical to
+    the serial one. Pass *compiler* to reuse kernel caches.
+    """
+    if compiler is None:
+        compiler = ExpressionCompiler(ctx)
+    rows = list(range(len(table)))
+    kctx = KernelContext(table, ctx)
+    for conjunct in conjuncts:
+        if not rows:
+            break
+        values = compiler.compile(conjunct)(kctx, rows)
+        rows = [i for i, value in zip(rows, values) if truthy(value)]
+    return rows
 
 
 class ExpressionCompiler:

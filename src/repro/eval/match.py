@@ -39,7 +39,7 @@ from ..paths.walk import AllPathsHandle, Walk
 from .analysis import analyze_match
 from .context import EvalContext
 from .expressions import ExpressionEvaluator
-from .kernels import ExpressionCompiler, KernelContext
+from .kernels import ExpressionCompiler, KernelContext, compiled_filter_rows
 from .planner import order_atoms
 from .pushdown import PushdownPlan, split_conjuncts
 
@@ -49,6 +49,8 @@ __all__ = [
     "chain_matches",
     "decompose_chain",
     "match_rows_touching",
+    "run_atom_sequence",
+    "finish_block_where",
     "NodeAtom",
     "EdgeAtom",
     "PathAtom",
@@ -870,7 +872,13 @@ class PathAtom:
         sources = [s for s in sorted(groups, key=str) if s in graph.nodes]
 
         if pattern.mode == "reach":
-            reachable_by_source = finder.reachable_multi(sources)
+            from .parallel import parallel_reachable_multi
+
+            reachable_by_source = parallel_reachable_multi(
+                ctx, graph, pattern, sources
+            )
+            if reachable_by_source is None:
+                reachable_by_source = finder.reachable_multi(sources)
             for source in sources:
                 reachable = reachable_by_source[source]
                 for i in groups[source]:
@@ -923,7 +931,13 @@ class PathAtom:
                         break
                     bound.add(value)
                 targets_map[source] = bound if all_bound else None
-            walks_by_source = finder.shortest_multi(sources, targets_map)
+            from .parallel import parallel_shortest_multi
+
+            walks_by_source = parallel_shortest_multi(
+                ctx, graph, pattern, sources, targets_map
+            )
+            if walks_by_source is None:
+                walks_by_source = finder.shortest_multi(sources, targets_map)
             for source in sources:
                 walks = walks_by_source[source]
                 for i in groups[source]:
@@ -1165,15 +1179,14 @@ def _apply_conjuncts(
     """
     if not conjuncts or not table:
         return table
-    rows = list(range(len(table)))
     if compiler is not None:
-        kctx = KernelContext(table, ctx)
-        for conjunct in conjuncts:
-            if not rows:
-                break
-            values = compiler.compile(conjunct)(kctx, rows)
-            rows = [i for i, value in zip(rows, values) if truthy(value)]
+        from .parallel import parallel_filter
+
+        rows = parallel_filter(conjuncts, table, ctx)
+        if rows is None:
+            rows = compiled_filter_rows(table, ctx, conjuncts, compiler)
     else:
+        rows = list(range(len(table)))
         views = table.rows
         for conjunct in conjuncts:
             if not rows:
@@ -1186,6 +1199,79 @@ def _apply_conjuncts(
     return table.select_rows(rows)
 
 
+def run_atom_sequence(
+    atoms: List[object],
+    table: BindingTable,
+    graph: PathPropertyGraph,
+    ctx: EvalContext,
+    ev: ExpressionEvaluator,
+    compiler: Optional[ExpressionCompiler],
+    plan: Optional[PushdownPlan],
+    bound_by_atoms: Set[str],
+) -> BindingTable:
+    """Run a planned atom sequence against *table* (one block location).
+
+    The shared inner loop of block evaluation: probe-predicate pushdown,
+    atom expansion on the configured executor, then any newly-total
+    pushed conjuncts. Mutates *plan* (conjuncts are consumed as taken)
+    and *bound_by_atoms* in place. Morsel workers
+    (:mod:`repro.eval.parallel`) run exactly this function over their
+    row ranges, which is what makes parallel block tails bit-identical
+    to serial evaluation.
+    """
+    columnar = ctx.config.executor == "columnar"
+    for atom in atoms:
+        probe = None
+        if plan is not None and not isinstance(atom, PathAtom):
+            taken = plan.take_probe(atom, bound_by_atoms)
+            if taken:
+                probe = plan.probe_predicates(taken, ev)
+        if isinstance(atom, PathAtom):
+            # The path engine is its own config axis (historically it
+            # rode with the executor; the legacy flag setters keep
+            # that coupling, the config API can flip it alone).
+            if ctx.config.paths == "batched":
+                table = atom.extend_columnar(table, graph, ev, ctx)
+            else:
+                table = atom.extend(table, graph, ev, ctx)
+        elif columnar:
+            table = atom.extend_columnar(
+                table, graph, ev, probe_filters=probe
+            )
+        else:
+            table = atom.extend(table, graph, ev)
+        bound_by_atoms |= atom.binds()
+        if plan is not None and table:
+            post = plan.take_post(bound_by_atoms)
+            if post:
+                table = _apply_conjuncts(
+                    [c.expr for c in post], table, ctx, compiler, ev
+                )
+        if not table:
+            break
+    return table
+
+
+def finish_block_where(
+    table: BindingTable,
+    plan: Optional[PushdownPlan],
+    where: Optional[ast.Expr],
+    ctx: EvalContext,
+    compiler: Optional[ExpressionCompiler],
+    ev: ExpressionEvaluator,
+) -> BindingTable:
+    """Apply the block-end residual WHERE (whatever pushdown left over)."""
+    if where is None or not table:
+        return table
+    if plan is not None:
+        return _apply_conjuncts(plan.remaining(), table, ctx, compiler, ev)
+    if compiler is not None:
+        return _apply_conjuncts(
+            split_conjuncts(where), table, ctx, compiler, ev
+        )
+    return table.filter(lambda row: ev.evaluate_predicate(where, row))
+
+
 def evaluate_block(
     block: ast.MatchBlock,
     ctx: EvalContext,
@@ -1194,17 +1280,14 @@ def evaluate_block(
     name_anonymous_edges: bool = False,
 ) -> BindingTable:
     """Evaluate one pattern block (the MATCH body or an OPTIONAL block)."""
+    from .parallel import MIN_PARALLEL_ROWS, parallel_block_tail
+
     table = seed if seed is not None else BindingTable.unit()
     namer = _AnonNamer()
     ev = ExpressionEvaluator(ctx)
     primary_graph: Optional[PathPropertyGraph] = None
     block_default = _block_default_graph(block, ctx)
-    columnar = ctx.columnar_executor
-    if columnar is None:
-        # The row-at-a-time reference executor rides with the naive
-        # planner ablation (``naive=True``); every planned mode runs the
-        # columnar pipeline.
-        columnar = not ctx.naive_planner
+    columnar = ctx.config.executor == "columnar"
     vectorized = ctx.use_vectorized()
     compiler = ExpressionCompiler(ctx) if vectorized else None
     # Predicate pushdown: total WHERE conjuncts apply as soon as their
@@ -1220,6 +1303,15 @@ def evaluate_block(
         plan = PushdownPlan(block.where, ctx.params)
         pushed_props = plan.pushed_property_keys() or None
     bound_by_atoms: Set[str] = set()
+    # Morsel dispatch rides on single-location columnar blocks: atoms run
+    # serially until the binding table is wide enough to split, then the
+    # remaining atoms and the residual WHERE move to the worker pool.
+    try_parallel = (
+        not ctx.config.serial
+        and columnar
+        and len(block.patterns) == 1
+    )
+    where_done = False
     for location in block.patterns:
         graph = _resolve_location(location, ctx, block_default)
         if primary_graph is None:
@@ -1230,45 +1322,34 @@ def evaluate_block(
         ordered = _ordered_atoms(
             atoms, table, location, graph, ctx, pushed_props
         )
-        for atom in ordered:
-            probe = None
-            if plan is not None and not isinstance(atom, PathAtom):
-                taken = plan.take_probe(atom, bound_by_atoms)
-                if taken:
-                    probe = plan.probe_predicates(taken, ev)
-            if isinstance(atom, PathAtom):
-                if columnar:
-                    table = atom.extend_columnar(table, graph, ev, ctx)
-                else:
-                    table = atom.extend(table, graph, ev, ctx)
-            elif columnar:
-                table = atom.extend_columnar(
-                    table, graph, ev, probe_filters=probe
-                )
-            else:
-                table = atom.extend(table, graph, ev)
-            bound_by_atoms |= atom.binds()
-            if plan is not None and table:
-                post = plan.take_post(bound_by_atoms)
-                if post:
-                    table = _apply_conjuncts(
-                        [c.expr for c in post], table, ctx, compiler, ev
+        if try_parallel:
+            for index in range(len(ordered)):
+                if len(table) >= MIN_PARALLEL_ROWS:
+                    dispatched = parallel_block_tail(
+                        ordered, index, table, graph, ctx, plan,
+                        bound_by_atoms, block.where,
                     )
-            if not table:
-                break
-    if block.where is not None and table:
-        if plan is not None:
-            table = _apply_conjuncts(
-                plan.remaining(), table, ctx, compiler, ev
-            )
-        elif vectorized:
-            table = _apply_conjuncts(
-                split_conjuncts(block.where), table, ctx, compiler, ev
-            )
+                    if dispatched is not None:
+                        table = dispatched
+                        where_done = True
+                        break
+                table = run_atom_sequence(
+                    ordered[index : index + 1], table, graph, ctx, ev,
+                    compiler, plan, bound_by_atoms,
+                )
+                if not table:
+                    break
         else:
-            table = table.filter(
-                lambda row: ev.evaluate_predicate(block.where, row)
+            table = run_atom_sequence(
+                ordered, table, graph, ctx, ev, compiler, plan,
+                bound_by_atoms,
             )
+        if not table:
+            break
+    if not where_done:
+        table = finish_block_where(
+            table, plan, block.where, ctx, compiler, ev
+        )
     if not keep_anonymous:
         hidden = [c for c in table.columns if c.startswith(ANON_PREFIX)]
         if hidden:

@@ -33,6 +33,7 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
 
+from ..config import ExecutionConfig
 from ..engine import GCoreEngine, PreparedQuery
 from ..errors import GCoreError
 from .admission import AdmissionController
@@ -43,6 +44,7 @@ from .protocol import (
     MethodNotAllowed,
     NotFound,
     RequestTimeout,
+    decode_config,
     decode_params,
     delta_from_json,
     dumps,
@@ -67,6 +69,7 @@ class ServerConfig:
         "max_row_limit",
         "max_body_bytes",
         "max_statements",
+        "workers",
     )
 
     def __init__(
@@ -81,6 +84,7 @@ class ServerConfig:
         max_row_limit: int = 100_000,
         max_body_bytes: int = 8 * 1024 * 1024,
         max_statements: int = 256,
+        workers: int = 1,
     ) -> None:
         self.host = host
         #: 0 binds an ephemeral port (tests); the bound port is
@@ -95,6 +99,9 @@ class ServerConfig:
         self.max_body_bytes = max_body_bytes
         #: size of the /prepare handle registry (oldest evicted first)
         self.max_statements = max_statements
+        #: morsel worker-pool size queries run at when the request body
+        #: carries no explicit ``"config"`` (1 = serial, the default)
+        self.workers = workers
 
 
 Handler = Callable[[Request], Awaitable[Dict[str, Any]]]
@@ -116,7 +123,10 @@ class GCoreServer:
             max_workers=self.config.max_in_flight,
             thread_name_prefix="gcore-query",
         )
-        self._statements: "OrderedDict[str, PreparedQuery]" = OrderedDict()
+        # statement_id -> (prepared, config-or-None from /prepare)
+        self._statements: "OrderedDict[str, Tuple[PreparedQuery, Optional[ExecutionConfig]]]" = (
+            OrderedDict()
+        )
         self._statement_seq = itertools.count(1)
         self._server: Optional[asyncio.AbstractServer] = None
         self._stopped: Optional[asyncio.Event] = None
@@ -234,6 +244,22 @@ class GCoreServer:
             raise BadRequest("'max_rows' must be a positive integer")
         return min(raw, self.config.max_row_limit)
 
+    def _effective_config(
+        self, requested: Optional[ExecutionConfig]
+    ) -> Optional[ExecutionConfig]:
+        """The ExecutionConfig a query runs at: request > server workers.
+
+        A request-supplied config is authoritative (including
+        ``parallelism``). Without one, a server started with
+        ``ServerConfig.workers > 1`` runs the default lattice point at
+        that parallelism; otherwise None keeps the engine default.
+        """
+        if requested is not None:
+            return requested
+        if self.config.workers > 1:
+            return ExecutionConfig(parallelism=self.config.workers)
+        return None
+
     def _release_slot(self, future: "asyncio.Future[Any]") -> None:
         self._admission.release()
         if not future.cancelled():
@@ -271,6 +297,7 @@ class GCoreServer:
         if not isinstance(text, str) or not text.strip():
             raise BadRequest("'query' must be a non-empty string")
         params = decode_params(body.get("params"))
+        config = self._effective_config(decode_config(body.get("config")))
         timeout_s = self._timeout_seconds(body)
         row_limit = self._row_limit(body)
         engine = self.engine
@@ -278,7 +305,7 @@ class GCoreServer:
         def work() -> Dict[str, Any]:
             started = time.monotonic()
             with engine.snapshot() as snapshot:
-                result = snapshot.run(text, params)
+                result = snapshot.run(text, params, config=config)
                 payload = serialize_result(result, row_limit)
                 epochs = {
                     name: snapshot.epoch(name)
@@ -297,9 +324,13 @@ class GCoreServer:
         text = body.get("query")
         if not isinstance(text, str) or not text.strip():
             raise BadRequest("'query' must be a non-empty string")
+        # The config is validated now (a bad one should 422 at prepare
+        # time, not at first execute) and pinned to the handle; /execute
+        # bodies may still override it per call.
+        pinned = decode_config(body.get("config"))
         prepared = self.engine.prepare(text)  # parses; raises ParseError
         statement_id = f"stmt-{next(self._statement_seq)}"
-        self._statements[statement_id] = prepared
+        self._statements[statement_id] = (prepared, pinned)
         while len(self._statements) > self.config.max_statements:
             self._statements.popitem(last=False)
         return {
@@ -310,10 +341,15 @@ class GCoreServer:
     async def _post_execute(self, request: Request) -> Dict[str, Any]:
         body = request.json_object()
         statement_id = body.get("statement_id")
-        prepared = self._statements.get(statement_id)
-        if prepared is None:
+        entry = self._statements.get(statement_id)
+        if entry is None:
             raise NotFound(f"unknown statement_id: {statement_id!r}")
+        prepared, pinned = entry
         params = decode_params(body.get("params"))
+        requested = decode_config(body.get("config"))
+        config = self._effective_config(
+            requested if requested is not None else pinned
+        )
         timeout_s = self._timeout_seconds(body)
         row_limit = self._row_limit(body)
         engine = self.engine
@@ -321,7 +357,9 @@ class GCoreServer:
         def work() -> Dict[str, Any]:
             started = time.monotonic()
             with engine.snapshot() as snapshot:
-                result = snapshot.execute_prepared(prepared, params)
+                result = snapshot.execute_prepared(
+                    prepared, params, config=config
+                )
                 payload = serialize_result(result, row_limit)
             payload["statement_id"] = statement_id
             payload["elapsed_ms"] = round(

@@ -26,6 +26,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Optional, Tuple
 
+from ..config import ExecutionConfig
 from ..errors import GCoreError
 from ..model.graph import PathPropertyGraph
 from ..model.io import graph_to_dict
@@ -41,10 +42,11 @@ __all__ = [
     "OverloadedError",
     "PayloadTooLarge",
     "RequestTimeout",
+    "decode_config",
+    "decode_params",
     "delta_from_json",
     "dumps",
     "error_envelope",
-    "decode_params",
     "serialize_result",
 ]
 
@@ -161,6 +163,20 @@ def decode_params(raw: Optional[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
     if not isinstance(raw, dict):
         raise BadRequest("'params' must be a JSON object")
     return {name: _decode_value(value) for name, value in raw.items()}
+
+
+def decode_config(raw: Any) -> Optional[ExecutionConfig]:
+    """Decode the ``config`` object of /query, /prepare and /execute.
+
+    ``None`` means "the request carried no config" — the server then
+    applies its own default (e.g. ``ServerConfig.workers``). Invalid
+    axis values and unknown keys surface as ``validation_error`` (422)
+    straight from :meth:`ExecutionConfig.from_json
+    <repro.config.ExecutionConfig.from_json>`.
+    """
+    if raw is None:
+        return None
+    return ExecutionConfig.from_json(raw)
 
 
 # ---------------------------------------------------------------------------

@@ -78,9 +78,9 @@ class SlowQueryEngine(GCoreEngine):
 
     delay = 0.6
 
-    def _evaluate(self, statement, params, plans, naive, catalog):
+    def _evaluate(self, statement, params, plans, config, catalog):
         time.sleep(self.delay)
-        return super()._evaluate(statement, params, plans, naive, catalog)
+        return super()._evaluate(statement, params, plans, config, catalog)
 
 
 class SlowUpdateEngine(GCoreEngine):
@@ -194,6 +194,129 @@ class TestQueryEndpoints:
                                 "retained_versions": 0}
         (entry,) = body["graphs"]
         assert entry["name"] == "g" and entry["kind"] == "base"
+
+
+class TestExecutionConfigWire:
+    """The ``config`` request field on /query, /prepare and /execute."""
+
+    def test_query_accepts_config(self, server):
+        reference = http(server.url + "/query", {"query": PERSON_QUERY})[1]
+        for config in (
+            {"parallelism": 2},
+            {"planner": "naive", "executor": "reference"},
+            {"parallelism": "serial"},
+        ):
+            status, body = http(
+                server.url + "/query",
+                {"query": PERSON_QUERY, "config": config},
+            )
+            assert status == 200
+            assert body["rows"] == reference["rows"]
+
+    def test_unknown_config_key_is_422(self, server):
+        status, body = http(
+            server.url + "/query",
+            {"query": PERSON_QUERY, "config": {"bogus": 1}},
+        )
+        assert status == 422
+        assert body["error"]["code"] == "validation_error"
+        assert "bogus" in body["error"]["message"]
+
+    def test_invalid_config_value_is_422(self, server):
+        status, body = http(
+            server.url + "/query",
+            {"query": PERSON_QUERY, "config": {"parallelism": 0}},
+        )
+        assert status == 422
+        assert body["error"]["code"] == "validation_error"
+
+    def test_prepare_pins_config_and_execute_overrides(self, server):
+        status, prepared = http(
+            server.url + "/prepare",
+            {"query": PERSON_QUERY, "config": {"planner": "greedy"}},
+        )
+        assert status == 200
+        statement_id = prepared["statement_id"]
+        reference = http(server.url + "/query", {"query": PERSON_QUERY})[1]
+        # pinned config applies...
+        status, body = http(
+            server.url + "/execute", {"statement_id": statement_id}
+        )
+        assert status == 200
+        assert body["rows"] == reference["rows"]
+        # ...and a per-execute config overrides the pin
+        status, body = http(
+            server.url + "/execute",
+            {"statement_id": statement_id,
+             "config": {"executor": "reference"}},
+        )
+        assert status == 200
+        assert body["rows"] == reference["rows"]
+
+    def test_prepare_rejects_bad_config_upfront(self, server):
+        status, body = http(
+            server.url + "/prepare",
+            {"query": PERSON_QUERY, "config": {"planner": "bogus"}},
+        )
+        assert status == 422
+        assert body["error"]["code"] == "validation_error"
+
+    def test_concurrent_parallel_queries(self, monkeypatch):
+        """Many clients, each query itself morsel-parallel: the pool is
+        shared process-wide, so concurrent snapshot readers must not
+        corrupt each other's results."""
+        from repro.eval import parallel
+
+        monkeypatch.setattr(parallel, "MIN_PARALLEL_ROWS", 1)
+        monkeypatch.setattr(parallel, "MIN_PARALLEL_FILTER_ROWS", 1)
+        monkeypatch.setattr(parallel, "DEFAULT_BACKEND", "thread")
+        handle = run_in_thread(
+            make_engine(), ServerConfig(port=0, workers=2)
+        )
+        try:
+            reference = http(
+                handle.url + "/query", {"query": PERSON_QUERY}
+            )[1]["rows"]
+            results = [None] * 8
+            def worker(index):
+                results[index] = http(
+                    handle.url + "/query",
+                    {"query": PERSON_QUERY,
+                     "config": {"parallelism": 2}},
+                )
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(len(results))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            for status, body in results:
+                assert status == 200
+                assert body["rows"] == reference
+        finally:
+            handle.stop()
+
+    def test_server_workers_default_applies_without_request_config(
+        self, monkeypatch
+    ):
+        """ServerConfig.workers > 1 parallelizes config-less requests."""
+        from repro.eval import parallel
+
+        monkeypatch.setattr(parallel, "MIN_PARALLEL_ROWS", 1)
+        monkeypatch.setattr(parallel, "DEFAULT_BACKEND", "thread")
+        handle = run_in_thread(
+            make_engine(), ServerConfig(port=0, workers=2)
+        )
+        try:
+            status, body = http(
+                handle.url + "/query", {"query": PERSON_QUERY}
+            )
+            assert status == 200
+            assert body["rows"] == [[f"p{i}"] for i in range(6)]
+        finally:
+            handle.stop()
 
 
 class TestErrorEnvelopes:
