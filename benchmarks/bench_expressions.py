@@ -24,6 +24,7 @@ snb100; BENCH_4.json records the measured ablation.
 
 import pytest
 
+from repro.config import DEFAULT_CONFIG, NAIVE_CONFIG
 from repro.eval.context import EvalContext
 from repro.eval.query import evaluate_statement
 
@@ -48,17 +49,18 @@ PROJECTION = (
     "MATCH (n:Person)"
 )
 
-MODES = ("vectorized", "interpreted", "naive")
+MODE_CONFIGS = {
+    "vectorized": DEFAULT_CONFIG,
+    "interpreted": DEFAULT_CONFIG.with_(expressions="interpreted"),
+    "naive": NAIVE_CONFIG,
+}
+MODES = tuple(MODE_CONFIGS)
 
 PERSONS = sizes([full_persons(100)], [15])
 
 
 def run_query(engine, statement, mode):
-    ctx = EvalContext(engine.catalog)
-    if mode == "naive":
-        ctx.naive_planner = True
-    elif mode == "interpreted":
-        ctx.vectorized_expressions = False
+    ctx = EvalContext(engine.catalog, config=MODE_CONFIGS[mode])
     return evaluate_statement(statement, ctx)
 
 

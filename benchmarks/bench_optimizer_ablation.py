@@ -17,6 +17,7 @@ must match or beat the heuristic.
 
 import pytest
 
+from repro.config import DEFAULT_CONFIG, NAIVE_CONFIG
 from repro.eval.context import EvalContext
 from repro.eval.match import evaluate_match
 from repro.lang.lexer import tokenize
@@ -31,7 +32,12 @@ QUERY = (
 
 PERSONS = sizes([50, 100], [15])
 
-MODES = ("cost", "heuristic", "naive")
+MODE_CONFIGS = {
+    "cost": DEFAULT_CONFIG,
+    "heuristic": DEFAULT_CONFIG.with_(planner="greedy"),
+    "naive": NAIVE_CONFIG,
+}
+MODES = tuple(MODE_CONFIGS)
 
 
 def _match_clause(text):
@@ -42,9 +48,7 @@ def _match_clause(text):
 
 
 def run_match(engine, clause, mode):
-    ctx = EvalContext(engine.catalog)
-    ctx.naive_planner = mode == "naive"
-    ctx.use_cost_planner = mode == "cost"
+    ctx = EvalContext(engine.catalog, config=MODE_CONFIGS[mode])
     return evaluate_match(clause, ctx)
 
 

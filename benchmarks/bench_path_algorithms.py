@@ -20,7 +20,8 @@ import pytest
 nx = pytest.importorskip("networkx")
 
 from repro import GCoreEngine
-from repro.datasets.generator import SnbParameters, generate_snb_graph
+from repro.config import NAIVE_CONFIG
+from repro.datasets import load
 from repro.lang import ast
 from repro.paths.automaton import compile_regex
 from repro.paths.product import PathFinder, ViewSegment
@@ -38,7 +39,7 @@ MULTI_SOURCES = 10 if SMOKE else 40
 
 @pytest.fixture(scope="module")
 def snb():
-    return generate_snb_graph(SnbParameters(persons=PERSONS, seed=21))
+    return load("snb", scale=PERSONS, seed=21).graphs["snb"]
 
 
 @pytest.fixture(scope="module")
@@ -224,7 +225,7 @@ def test_match_paths_batched(benchmark, path_engine, workload):
 @pytest.mark.parametrize("workload", sorted(MATCH_WORKLOADS))
 def test_match_paths_naive(benchmark, path_engine, workload):
     query = MATCH_WORKLOADS[workload]
-    table = benchmark(path_engine.bindings, query, True)
+    table = benchmark(path_engine.bindings, query, config=NAIVE_CONFIG)
     assert len(table) > 0
 
 
@@ -232,6 +233,6 @@ def test_match_paths_naive(benchmark, path_engine, workload):
 def test_match_paths_agree(path_engine, workload):
     query = MATCH_WORKLOADS[workload]
     batched = path_engine.bindings(query)
-    naive = path_engine.bindings(query, naive=True)
+    naive = path_engine.bindings(query, config=NAIVE_CONFIG)
     assert batched.columns == naive.columns
     assert set(batched.rows) == set(naive.rows)

@@ -10,12 +10,7 @@ import os
 import pytest
 
 from repro import GCoreEngine
-from repro.datasets import company_graph, orders_table, social_graph
-from repro.datasets.generator import (
-    SnbParameters,
-    generate_company_graph,
-    generate_snb_graph,
-)
+from repro.datasets import load
 
 SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
 
@@ -39,17 +34,14 @@ def full_persons(default):
 def tour_engine():
     """The paper's toy instances (Figure 4) — used by Table 1 benches."""
     eng = GCoreEngine()
-    eng.register_graph("social_graph", social_graph(), default=True)
-    eng.register_graph("company_graph", company_graph())
-    eng.register_table("orders", orders_table())
+    load("paper").install(eng)
     return eng
 
 
 def snb_engine(persons: int, seed: int = 42) -> GCoreEngine:
     eng = GCoreEngine()
-    params = SnbParameters(persons=persons, seed=seed)
-    eng.register_graph("snb", generate_snb_graph(params), default=True)
-    eng.register_graph("companies", generate_company_graph(params))
+    load("snb", scale=persons, seed=seed).install(eng)
+    load("company").install(eng, set_default=False)
     return eng
 
 

@@ -69,7 +69,10 @@ class SnbParameters:
 def generate_snb_graph(
     parameters: Optional[SnbParameters] = None, **overrides
 ) -> PathPropertyGraph:
-    """Generate a deterministic SNB-like social graph."""
+    """Generate a deterministic SNB-like social graph.
+
+    Deprecated entry point — prefer ``repro.datasets.load("snb", scale=..., seed=...)``.
+    """
     if parameters is None:
         parameters = SnbParameters(**overrides)
     elif overrides:
@@ -156,7 +159,10 @@ def generate_snb_graph(
 def generate_company_graph(
     parameters: Optional[SnbParameters] = None,
 ) -> PathPropertyGraph:
-    """Company nodes matching the employers used by the person generator."""
+    """Company nodes matching the employers used by the person generator.
+
+    Deprecated entry point — prefer ``repro.datasets.load("company")``.
+    """
     parameters = parameters or SnbParameters()
     b = GraphBuilder(name="companies")
     for index in range(max(1, parameters.companies)):

@@ -35,7 +35,10 @@ __all__ = ["figure2_graph", "social_graph", "company_graph", "orders_table"]
 
 
 def figure2_graph() -> PathPropertyGraph:
-    """The PPG of Figure 2 / Example 2.2."""
+    """The PPG of Figure 2 / Example 2.2.
+
+    Deprecated entry point — prefer ``repro.datasets.load("figure2")``.
+    """
     b = GraphBuilder(name="figure2")
     b.add_node(101, labels=["Tag"], properties={"name": "Wagner"})
     b.add_node(
@@ -102,7 +105,10 @@ def _add_thread(
 
 
 def social_graph() -> PathPropertyGraph:
-    """The Figure 4 instance (`social_graph`)."""
+    """The Figure 4 instance (`social_graph`).
+
+    Deprecated entry point — prefer ``repro.datasets.load("paper")``.
+    """
     b = GraphBuilder(name="social_graph")
     b.add_node("houston", labels=["City"], properties={"name": "Houston"})
     b.add_node("wagner", labels=["Tag"], properties={"name": "Wagner"})
@@ -141,7 +147,10 @@ def social_graph() -> PathPropertyGraph:
 
 
 def company_graph() -> PathPropertyGraph:
-    """The unconnected Company nodes of the data-integration example."""
+    """The unconnected Company nodes of the data-integration example.
+
+    Deprecated entry point — prefer ``repro.datasets.load("paper")``.
+    """
     b = GraphBuilder(name="company_graph")
     for key, name in (
         ("acme", "Acme"),
@@ -154,7 +163,10 @@ def company_graph() -> PathPropertyGraph:
 
 
 def orders_table() -> Table:
-    """The ``orders`` table of the Section 5 examples."""
+    """The ``orders`` table of the Section 5 examples.
+
+    Deprecated entry point — prefer ``repro.datasets.load("paper")``.
+    """
     return Table(
         columns=("custName", "prodCode"),
         rows=[

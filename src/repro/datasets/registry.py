@@ -1,0 +1,150 @@
+"""One front door for every built-in dataset.
+
+Historically each dataset shipped its own entry point
+(``social_graph()``, ``generate_snb_graph(...)``, ...), and every
+caller — server boot, benchmarks, examples — hand-rolled the same
+register-graphs-and-tables dance. :func:`load` collapses those into a
+single registry keyed by name::
+
+    from repro.datasets import load
+
+    dataset = load("snb", scale=500, seed=7)
+    dataset.install(engine)            # registers graphs + tables
+
+The old per-dataset functions remain as thin aliases for existing
+code; new code should go through :func:`load`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from ..model.graph import PathPropertyGraph
+from ..table import Table
+from .generator import SnbParameters, generate_company_graph, generate_snb_graph
+from .paper import company_graph, figure2_graph, orders_table, social_graph
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A loaded dataset: named graphs, named tables, one default graph."""
+
+    name: str
+    graphs: Mapping[str, PathPropertyGraph]
+    tables: Mapping[str, Table] = field(default_factory=dict)
+    default_graph: Optional[str] = None
+
+    def install(self, engine, *, set_default: bool = True) -> None:
+        """Register every graph and table of this dataset on *engine*.
+
+        With ``set_default=False`` the engine's current default graph is
+        left alone — use it when layering a secondary dataset on top of
+        an already-populated engine.
+        """
+        for graph_name, graph in self.graphs.items():
+            engine.register_graph(
+                graph_name,
+                graph,
+                default=(set_default and graph_name == self.default_graph),
+            )
+        for table_name, table in self.tables.items():
+            engine.register_table(table_name, table)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Dataset({self.name!r}, graphs={sorted(self.graphs)}, "
+            f"tables={sorted(self.tables)}, default={self.default_graph!r})"
+        )
+
+
+def _load_paper(scale: Optional[int], seed: Optional[int]) -> Dataset:
+    _reject_knobs("paper", scale, seed)
+    return Dataset(
+        name="paper",
+        graphs={
+            "social_graph": social_graph(),
+            "company_graph": company_graph(),
+        },
+        tables={"orders": orders_table()},
+        default_graph="social_graph",
+    )
+
+
+def _load_figure2(scale: Optional[int], seed: Optional[int]) -> Dataset:
+    _reject_knobs("figure2", scale, seed)
+    return Dataset(
+        name="figure2",
+        graphs={"figure2": figure2_graph()},
+        default_graph="figure2",
+    )
+
+
+def _load_snb(scale: Optional[int], seed: Optional[int]) -> Dataset:
+    defaults = SnbParameters()
+    parameters = SnbParameters(
+        persons=defaults.persons if scale is None else scale,
+        seed=defaults.seed if seed is None else seed,
+    )
+    return Dataset(
+        name="snb",
+        graphs={"snb": generate_snb_graph(parameters)},
+        default_graph="snb",
+    )
+
+
+def _load_company(scale: Optional[int], seed: Optional[int]) -> Dataset:
+    defaults = SnbParameters()
+    parameters = SnbParameters(
+        companies=defaults.companies if scale is None else scale,
+        seed=defaults.seed if seed is None else seed,
+    )
+    return Dataset(
+        name="company",
+        graphs={"companies": generate_company_graph(parameters)},
+        default_graph="companies",
+    )
+
+
+def _reject_knobs(name: str, scale: Optional[int], seed: Optional[int]) -> None:
+    if scale is not None or seed is not None:
+        raise ValueError(
+            f"dataset {name!r} is a fixed paper instance and takes "
+            f"neither scale nor seed"
+        )
+
+
+_REGISTRY: Dict[str, Callable[[Optional[int], Optional[int]], Dataset]] = {
+    "paper": _load_paper,
+    "figure2": _load_figure2,
+    "snb": _load_snb,
+    "company": _load_company,
+}
+
+
+def available() -> Tuple[str, ...]:
+    """The dataset names :func:`load` accepts, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def load(
+    name: str,
+    *,
+    scale: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> Dataset:
+    """Build the named dataset and return it as a :class:`Dataset`.
+
+    ``scale`` and ``seed`` parameterise the synthetic generators
+    (``snb``: scale is the person count; ``company``: scale is the
+    company count); the fixed paper instances (``paper``, ``figure2``)
+    reject both. Unknown names raise :class:`ValueError` listing the
+    registry.
+    """
+    try:
+        loader = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; available: {', '.join(available())}"
+        ) from None
+    return loader(scale, seed)

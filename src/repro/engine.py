@@ -294,6 +294,51 @@ class GCoreEngine:
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
+    # Binary snapshots (the Storage API)
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, path: str, mmap: bool = True) -> "GCoreEngine":
+        """An engine over the graphs and tables of a snapshot file.
+
+        Opens *path* (written by :meth:`save` /
+        :func:`repro.storage.save_snapshot`) and registers every stored
+        graph as a :class:`~repro.storage.flatstore.FlatPathPropertyGraph`
+        reading straight from the mapped file — cold start is
+        O(identifiers), not O(payload), and concurrent processes opening
+        the same path share one read-only mapping. ``mmap=False`` loads
+        the file into memory instead (same decode paths). Snapshots are
+        immutable: :meth:`apply_update` on an opened graph assembles an
+        ordinary dict-backed graph for the new epoch (copy-on-write),
+        leaving the file untouched.
+        """
+        from .storage import open_snapshot
+
+        snapshot = open_snapshot(path, mmap=mmap)
+        engine = cls()
+        default = snapshot.default_graph_name
+        for name in snapshot.graph_names():
+            engine.register_graph(
+                name, snapshot.graph(name), default=(name == default)
+            )
+        for name in snapshot.table_names():
+            engine.register_table(name, snapshot.table(name))
+        return engine
+
+    def save(self, path: str) -> None:
+        """Persist the catalog's base graphs and tables to *path*.
+
+        Serializes a consistent MVCC snapshot (concurrent
+        :meth:`apply_update` writers land on later epochs and are not
+        torn into the file). Materialized views and path views are
+        derived state and are not stored; re-register them against the
+        reopened engine. See ``docs/storage.md`` for format and limits.
+        """
+        from .storage import save_snapshot
+
+        with self.snapshot() as snap:
+            save_snapshot(snap.catalog, path)
+
+    # ------------------------------------------------------------------
     # Catalog management
     # ------------------------------------------------------------------
     def register_graph(

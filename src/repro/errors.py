@@ -145,6 +145,39 @@ class DeltaError(GCoreError):
     http_status = 409
 
 
+class SnapshotFormatError(GCoreError):
+    """Raised when a binary snapshot file cannot be decoded.
+
+    Examples: a file that does not start with the snapshot magic, a
+    truncated header or section, a section whose CRC-32 does not match
+    the stored checksum, or an identifier/value whose type the format
+    cannot represent at save time.
+    """
+
+    code = "snapshot_format_error"
+    http_status = 422
+
+
+class SnapshotVersionError(SnapshotFormatError):
+    """Raised when a snapshot's format version is not supported.
+
+    The snapshot header carries a format version number; readers refuse
+    files written by a newer (or retired) format rather than risk a
+    silent misread of the section layout.
+    """
+
+    code = "snapshot_version_error"
+    http_status = 422
+
+    def __init__(self, found: int, supported: int) -> None:
+        super().__init__(
+            f"snapshot format version {found} is not supported "
+            f"(this build reads version {supported})"
+        )
+        self.found = found
+        self.supported = supported
+
+
 class StaleViewError(GCoreError):
     """Raised by the strict accessor :meth:`GCoreEngine.get_graph` when a
     materialized view's base graphs changed since it was materialized.

@@ -14,7 +14,7 @@ which is first-occurrence-wins on both sides). The serial engine stays
 the oracle: ``tests/property/test_prop_parallel_oracle.py`` asserts
 exact table/graph parity for every lattice point.
 
-Two backends share one dispatch surface:
+Three backends share one dispatch surface:
 
 * ``fork`` (default where available) — a ``ProcessPoolExecutor`` over
   forked workers. Graphs are **not** pickled per task: the parent
@@ -26,6 +26,15 @@ Two backends share one dispatch surface:
   fresh fork sees the current registry) and retries once. Only small
   per-query state — the morsel's binding vectors, atom ASTs, the
   pushdown plan, parameters — crosses the pipe.
+* ``spawn`` — a ``ProcessPoolExecutor`` over freshly started
+  interpreters. Spawned workers inherit nothing, so plain export
+  tokens cannot resolve there; *snapshot-backed* graphs
+  (:class:`~repro.storage.flatstore.FlatPathPropertyGraph`) instead
+  export as self-describing ``(path, graph)`` references that any
+  process resolves by attaching to the snapshot's shared read-only
+  mapping (:func:`repro.storage.attach`) — N workers, one mapping, no
+  per-worker deserialization. Queries over non-snapshot graphs degrade
+  to the serial path via the ordinary stale-token protocol.
 * ``thread`` — a ``ThreadPoolExecutor`` running the identical worker
   functions in-process. Pure-Python work gains no wall-clock speedup
   under the GIL, but the backend keeps every worker code path
@@ -90,10 +99,11 @@ try:  # pragma: no cover - platform probe
 except Exception:  # pragma: no cover - multiprocessing missing entirely
     multiprocessing = None  # type: ignore[assignment]
 
-#: ``"fork"`` (real multi-core scaling, Linux/macOS) or ``"thread"``
-#: (GIL-bound, but portable and in-process). Tests monkeypatch this to
-#: pin a backend; ``"fork"`` silently degrades to ``"thread"`` when the
-#: platform cannot fork.
+#: ``"fork"`` (real multi-core scaling, Linux/macOS), ``"spawn"``
+#: (multi-core on any platform; workers see only snapshot-attach
+#: tokens), or ``"thread"`` (GIL-bound, but portable and in-process).
+#: Tests monkeypatch this to pin a backend; ``"fork"`` silently
+#: degrades to ``"thread"`` when the platform cannot fork.
 DEFAULT_BACKEND = "fork" if _FORK_AVAILABLE else "thread"
 
 
@@ -130,16 +140,34 @@ _export_counter = itertools.count(1)
 _MISSING = object()
 #: Wire marker a worker returns when a token is not in its fork snapshot.
 _STALE = "__gcore_stale_export__"
+#: First element of a snapshot-attach token: ``(marker, path, stored
+#: graph name, catalog name)``. Unlike integer registry tokens these are
+#: self-describing — *any* process (forked or spawned) resolves one by
+#: attaching to the snapshot file's shared mapping.
+_SNAPSHOT_TOKEN = "__gcore_snapshot_graph__"
+
+#: A worker-resolvable graph reference: an integer registry token, a
+#: snapshot-attach tuple, or None.
+Token = Any
 
 
-def export(obj: Any) -> int:
-    """Publish *obj* for fork-inherited sharing; returns its token.
+def export(obj: Any) -> Token:
+    """Publish *obj* for worker sharing; returns its token.
 
-    Idempotent per object identity. The registry is a small LRU: graphs
-    are long-lived (epoch-immutable), so a handful of entries covers a
-    working set; evicting or newly publishing makes existing forked
-    pools stale, which the dispatcher repairs by re-forking.
+    Snapshot-backed graphs (:class:`FlatPathPropertyGraph`) export as
+    ``(path, graph)`` attach references — no registry entry, no fork
+    dependency, stable across pool recycles. Everything else lands in
+    the fork-inherited registry, idempotent per object identity. The
+    registry is a small LRU: graphs are long-lived (epoch-immutable),
+    so a handful of entries covers a working set; evicting or newly
+    publishing makes existing forked pools stale, which the dispatcher
+    repairs by re-forking.
     """
+    from ..storage.flatstore import FlatPathPropertyGraph  # cycle-free
+
+    if isinstance(obj, FlatPathPropertyGraph):
+        store = obj.store
+        return (_SNAPSHOT_TOKEN, store.reader.path, store.name, obj.name)
     token = _EXPORT_TOKENS.get(id(obj))
     if token is not None and _EXPORTS.get(token) is obj:
         _EXPORTS.move_to_end(token)
@@ -153,9 +181,18 @@ def export(obj: Any) -> int:
     return token
 
 
-def _resolve(token: Optional[int]) -> Any:
+def _resolve(token: Token) -> Any:
     if token is None:
         return None
+    if isinstance(token, tuple) and token and token[0] == _SNAPSHOT_TOKEN:
+        from ..storage.snapshot import _reopen_graph
+
+        try:
+            return _reopen_graph(token[1], token[2], token[3])
+        except Exception:
+            # Unreadable/removed snapshot file: report stale; the
+            # dispatcher recycles and ultimately falls back to serial.
+            return _MISSING
     return _EXPORTS.get(token, _MISSING)
 
 
@@ -174,6 +211,15 @@ def _make_pool(backend: str, workers: int):
         return ProcessPoolExecutor(
             max_workers=workers,
             mp_context=multiprocessing.get_context("fork"),
+        )
+    if backend == "spawn" and multiprocessing is not None:
+        # Spawned workers inherit nothing: integer registry tokens come
+        # back _STALE (→ serial fallback), but snapshot-attach tokens
+        # resolve anywhere, so snapshot-backed queries scale on
+        # platforms without fork.
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context("spawn"),
         )
     return ThreadPoolExecutor(
         max_workers=workers, thread_name_prefix="gcore-morsel"
@@ -366,7 +412,7 @@ def _worker_context(
     return ctx
 
 
-def _resolve_graph_tokens(tokens: Sequence[Optional[int]]) -> Optional[list]:
+def _resolve_graph_tokens(tokens: Sequence[Token]) -> Optional[list]:
     graphs = []
     for token in tokens:
         graph = _resolve(token)
@@ -376,7 +422,7 @@ def _resolve_graph_tokens(tokens: Sequence[Optional[int]]) -> Optional[list]:
     return graphs
 
 
-def _context_tokens(ctx, graph) -> Tuple[int, Optional[int], List[int]]:
+def _context_tokens(ctx, graph) -> Tuple[Token, Optional[Token], List[Token]]:
     """Export the graphs a worker context needs to answer lookups.
 
     Ships the probed graph, every active graph of the evaluation (a

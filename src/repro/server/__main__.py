@@ -1,42 +1,43 @@
 """``python -m repro.server`` — run the query server from the shell.
 
-Loads a dataset into a fresh engine and serves it until interrupted::
+Loads a dataset (or a binary snapshot) into a fresh engine and serves
+it until interrupted::
 
     PYTHONPATH=src python -m repro.server --dataset paper --port 7687
+    PYTHONPATH=src python -m repro.server --snapshot catalog.gsnap
 
-``--dataset paper`` registers the paper's toy instances
-(``social_graph`` as the default graph, ``company_graph``, and the
-``orders`` table); ``--dataset snb`` generates the deterministic
-SNB-like graph for load experiments. See ``docs/http-api.md`` for the
-endpoints and a full curl session.
+``--dataset`` accepts any name from the :mod:`repro.datasets`
+registry; ``--snapshot PATH`` skips generation entirely and boots the
+engine from a saved snapshot via ``GCoreEngine.open`` — the graphs
+stay mmap-backed, so start-up cost is the file open, not a rebuild.
+See ``docs/http-api.md`` for the endpoints and a full curl session.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+from typing import Optional
 
-from ..datasets import (
-    company_graph,
-    generate_snb_graph,
-    orders_table,
-    social_graph,
-)
+from .. import datasets
 from ..engine import GCoreEngine
 from .app import GCoreServer, ServerConfig
 
 
-def build_engine(dataset: str, seed: int, persons: int) -> GCoreEngine:
+def build_engine(
+    dataset: str,
+    seed: int,
+    persons: int,
+    snapshot: Optional[str] = None,
+) -> GCoreEngine:
+    if snapshot is not None:
+        return GCoreEngine.open(snapshot)
     engine = GCoreEngine()
-    if dataset == "paper":
-        engine.register_graph("social_graph", social_graph(), default=True)
-        engine.register_graph("company_graph", company_graph())
-        engine.register_table("orders", orders_table())
-    elif dataset == "snb":
-        graph = generate_snb_graph(persons=persons, seed=seed)
-        engine.register_graph("snb", graph, default=True)
-    else:  # pragma: no cover - argparse restricts choices
-        raise ValueError(f"unknown dataset: {dataset}")
+    if dataset == "snb":
+        loaded = datasets.load("snb", scale=persons, seed=seed)
+    else:
+        loaded = datasets.load(dataset)
+    loaded.install(engine)
     return engine
 
 
@@ -48,7 +49,13 @@ def main(argv=None) -> int:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=7687)
     parser.add_argument(
-        "--dataset", choices=("paper", "snb"), default="paper"
+        "--dataset", choices=datasets.available(), default="paper"
+    )
+    parser.add_argument(
+        "--snapshot",
+        metavar="PATH",
+        default=None,
+        help="boot from a saved binary snapshot (overrides --dataset)",
     )
     parser.add_argument(
         "--persons", type=int, default=200, help="SNB graph size"
@@ -60,7 +67,9 @@ def main(argv=None) -> int:
     parser.add_argument("--row-limit", type=int, default=10_000)
     args = parser.parse_args(argv)
 
-    engine = build_engine(args.dataset, args.seed, args.persons)
+    engine = build_engine(
+        args.dataset, args.seed, args.persons, snapshot=args.snapshot
+    )
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -71,10 +80,15 @@ def main(argv=None) -> int:
     )
     server = GCoreServer(engine, config)
 
+    source = (
+        f"snapshot={args.snapshot}" if args.snapshot
+        else f"dataset={args.dataset}"
+    )
+
     async def serve() -> None:
         await server.start()
         print(f"G-CORE server listening on {server.url} "
-              f"(dataset={args.dataset}); Ctrl-C to stop")
+              f"({source}); Ctrl-C to stop")
         await server.wait_stopped()
 
     try:

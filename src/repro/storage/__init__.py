@@ -1,0 +1,29 @@
+"""Binary graph snapshots and the mmap array-backed store.
+
+The Storage API in three calls::
+
+    from repro.storage import save_snapshot, open_snapshot
+
+    save_snapshot(engine.catalog, "catalog.gsnap")   # or engine.save(path)
+    snapshot = open_snapshot("catalog.gsnap")        # mmap=True by default
+    graph = snapshot.graph("snb")                    # FlatPathPropertyGraph
+
+See ``docs/storage.md`` for the format layout, the mmap lifecycle and
+the mutability rules.
+"""
+
+from .flatstore import FlatGraphStore, FlatPathPropertyGraph
+from .format import FORMAT_VERSION, SnapshotReader, SnapshotWriter
+from .snapshot import Snapshot, attach, open_snapshot, save_snapshot
+
+__all__ = [
+    "FORMAT_VERSION",
+    "FlatGraphStore",
+    "FlatPathPropertyGraph",
+    "Snapshot",
+    "SnapshotReader",
+    "SnapshotWriter",
+    "attach",
+    "open_snapshot",
+    "save_snapshot",
+]
