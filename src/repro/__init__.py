@@ -28,9 +28,11 @@ Quickstart::
     print(g.describe())
 """
 
+from .analysis import AnalysisResult, Diagnostic, analyze
 from .config import DEFAULT_CONFIG, NAIVE_CONFIG, ExecutionConfig
 from .engine import EngineSnapshot, GCoreEngine
 from .errors import (
+    AnalysisError,
     CostError,
     DeltaError,
     EvaluationError,
@@ -55,6 +57,10 @@ from .table import Table
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisError",
+    "AnalysisResult",
+    "Diagnostic",
+    "analyze",
     "DEFAULT_CONFIG",
     "NAIVE_CONFIG",
     "EngineSnapshot",

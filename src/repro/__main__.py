@@ -15,6 +15,9 @@ Dot-commands:
   .explain <query>     show the evaluation sketch (planner order with
                        estimated cardinalities, plan-cache status, the
                        active execution config)
+  .lint <query>        static analysis only: print the analyzer's typed
+                       diagnostics (stable GCxxx codes with severity,
+                       span and fix hint) without executing anything
   .config [k=v ...]    show the active ExecutionConfig, or set axes for
                        the session (e.g. ``.config parallelism=4
                        planner=greedy``; ``.config reset`` restores the
@@ -152,6 +155,9 @@ def handle_command(
         )
     elif command == ".explain" and argument:
         print(engine.explain(argument, config=state.config))
+    elif command == ".lint" and argument:
+        result = engine.analyze(argument)
+        print(result.describe())
     elif command == ".config":
         if argument:
             state.config = _parse_config_args(state.config, argument)

@@ -1,0 +1,121 @@
+"""Batch linting CLI: ``python -m repro.analysis FILE...``.
+
+Each file may hold one statement or several separated by ``;``. Every
+diagnostic prints as one ``file:line:col: CODE severity: message`` line;
+the process exit code is the rank of the worst finding across all files
+(0 = clean or info-only, 1 = warnings, 2 = errors), so the linter drops
+straight into CI pipelines and pre-commit hooks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable, List, Optional, TextIO, Tuple
+
+from .analyzer import analyze
+from .diagnostics import AnalysisResult, Diagnostic
+
+
+def split_statements(text: str) -> List[Tuple[int, str]]:
+    """Split a corpus file on top-level ``;`` into ``(line, statement)``.
+
+    Quote-aware (``'...'`` and ``"..."``) and comment-stripping
+    (``# ...`` to end of line); *line* is the 1-based file line of the
+    statement's first character, so diagnostics can be re-anchored to
+    file positions.
+    """
+    statements: List[Tuple[int, str]] = []
+    current: List[str] = []
+    line = 1
+    in_string: Optional[str] = None
+    in_comment = False
+
+    def flush() -> None:
+        raw = "".join(current)
+        stripped = raw.strip()
+        if stripped:
+            lead = len(raw) - len(raw.lstrip())
+            start = line - raw.count("\n") + raw[:lead].count("\n")
+            statements.append((start, stripped))
+        current.clear()
+
+    for ch in text:
+        if ch == "\n":
+            in_comment = False
+            current.append(ch)
+            line += 1
+            continue
+        if in_comment:
+            continue
+        if in_string is not None:
+            if ch == in_string:
+                in_string = None
+            current.append(ch)
+            continue
+        if ch in ("'", '"'):
+            in_string = ch
+            current.append(ch)
+        elif ch == "#":
+            in_comment = True
+        elif ch == ";":
+            flush()
+        else:
+            current.append(ch)
+    flush()
+    return statements
+
+
+def _render(path: str, start_line: int, diagnostic: Diagnostic) -> str:
+    # Diagnostic spans are statement-relative; re-anchor to the file.
+    line = start_line + (diagnostic.line - 1 if diagnostic.line else 0)
+    column = diagnostic.column if diagnostic.column is not None else 1
+    prefix = f"{path}:{line}:{column}"
+    hint = f" (hint: {diagnostic.hint})" if diagnostic.hint else ""
+    return (
+        f"{prefix}: {diagnostic.code} {diagnostic.severity}: "
+        f"{diagnostic.message}{hint}"
+    )
+
+
+def lint_paths(paths: Iterable[str], out: TextIO = sys.stdout) -> int:
+    """Lint every statement of every file; returns the worst exit code."""
+    worst = 0
+    checked = 0
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            print(f"{path}: cannot read: {exc}", file=out)
+            worst = max(worst, 2)
+            continue
+        for start_line, statement in split_statements(text):
+            checked += 1
+            result: AnalysisResult = analyze(statement)
+            for diagnostic in result:
+                print(_render(path, start_line, diagnostic), file=out)
+            worst = max(worst, result.exit_code())
+    print(
+        f"checked {checked} statement(s); exit status {worst}",
+        file=out,
+    )
+    return worst
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Statically lint G-CORE query files "
+        "(exit code: 0 clean/info, 1 warnings, 2 errors).",
+    )
+    parser.add_argument(
+        "files", nargs="+", metavar="FILE",
+        help="query files; multiple statements separated by ';'",
+    )
+    args = parser.parse_args(argv)
+    return lint_paths(args.files)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Source spans for diagnostics: a token-position index over query text.
+
+The AST is made of frozen, position-free dataclasses (they are shared,
+hashed and compared structurally by the planner and the plan caches), so
+the analyzer cannot read spans off the nodes it visits. Instead, when
+the analyzer is given the *source text*, it tokenizes it once and builds
+an index from identifier spelling to the 1-based ``(line, column)`` of
+its occurrences. A diagnostic about variable ``n`` or label ``Person``
+then anchors at the first occurrence of that spelling — approximate for
+repeated names, exact for the common case, and entirely optional (AST
+input simply produces span-less diagnostics).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..lang.lexer import Token
+
+__all__ = ["SpanIndex"]
+
+Span = Tuple[int, int]
+
+
+class SpanIndex:
+    """Identifier spelling -> source positions, built from a token list."""
+
+    def __init__(self, tokens: Sequence[Token] = ()) -> None:
+        self._positions: Dict[str, List[Span]] = {}
+        for token in tokens:
+            if token.kind in ("IDENT", "PARAM"):
+                text = token.text
+            elif token.kind == "KEYWORD" and isinstance(token.value, str):
+                # keyword-named labels (e.g. :End) keep their raw spelling
+                # in .value; index both spellings.
+                text = token.value
+            else:
+                continue
+            self._positions.setdefault(text, []).append(
+                (token.line, token.column)
+            )
+
+    def first(self, name: Optional[str]) -> Optional[Span]:
+        """The first occurrence of *name*, or None when unindexed."""
+        if not name:
+            return None
+        occurrences = self._positions.get(name)
+        return occurrences[0] if occurrences else None
+
+    def __bool__(self) -> bool:
+        return bool(self._positions)

@@ -143,6 +143,7 @@ class CatalogSnapshot:
         "_graphs",
         "_tables",
         "_path_views",
+        "_schemas",
         "_stale",
         "_table_graph_cache",
         "_pinned",
@@ -159,6 +160,7 @@ class CatalogSnapshot:
         self._graphs.update(catalog._view_cache)
         self._tables: Dict[str, Table] = dict(catalog._tables)
         self._path_views = dict(catalog._path_views)
+        self._schemas = dict(catalog._schemas)
         self._base_names = frozenset(catalog._graphs)
         self._views: Dict[str, "ast.Query"] = dict(catalog._views)
         self._stale = frozenset(catalog.stale_views())
@@ -207,6 +209,10 @@ class CatalogSnapshot:
 
     def path_view(self, name: str) -> Optional["ast.PathClause"]:
         return self._path_views.get(name)
+
+    def schema(self, name: str) -> Optional["GraphSchema"]:
+        """The schema attached to base graph *name* at acquisition."""
+        return self._schemas.get(name)
 
     def is_base_graph(self, name: str) -> bool:
         """True iff *name* was a directly-registered base graph."""

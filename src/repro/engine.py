@@ -56,7 +56,9 @@ from typing import Dict, List, Optional, Set, Union
 
 from .catalog import Catalog, CatalogSnapshot
 from .config import DEFAULT_CONFIG, NAIVE_CONFIG, ExecutionConfig
+from .analysis import AnalysisResult, analyze as analyze_statement
 from .errors import (
+    AnalysisError,
     EvaluationError,
     SemanticError,
     StaleViewError,
@@ -223,6 +225,7 @@ class EngineSnapshot:
         text: str,
         params: Optional[dict] = None,
         config: Optional[ExecutionConfig] = None,
+        strict: bool = False,
     ) -> QueryResult:
         """Execute one read-only statement against the pinned catalog.
 
@@ -230,10 +233,25 @@ class EngineSnapshot:
         memoized across snapshots; atom orderings are keyed by graph
         object identity, so plans never leak between catalog versions).
         *config* pins the execution-mode lattice point for this run.
+        ``strict=True`` analyzes the statement against the pinned
+        catalog first and raises :class:`~repro.errors.AnalysisError`
+        when any error-level diagnostic is found.
         """
+        if strict:
+            result = self.analyze(text)
+            if not result.ok:
+                raise AnalysisError(result)
         return self.execute_prepared(
             self.engine.prepare(str(text)), params, config=config
         )
+
+    def analyze(self, text_or_statement) -> AnalysisResult:
+        """Statically analyze a statement against the pinned catalog.
+
+        Same contract as :meth:`GCoreEngine.analyze`, resolved against
+        this snapshot's catalog version.
+        """
+        return analyze_statement(text_or_statement, self.catalog)
 
     def execute_prepared(
         self,
@@ -568,6 +586,26 @@ class GCoreEngine:
         parser.expect_eof()
         return statement
 
+    def analyze(
+        self,
+        text_or_statement: Union[str, ast.Statement],
+        config: Optional[ExecutionConfig] = None,
+    ) -> AnalysisResult:
+        """Statically analyze one statement; nothing is executed.
+
+        Returns an :class:`~repro.analysis.AnalysisResult` of typed
+        diagnostics (stable ``GCxxx`` codes, severities, source spans
+        when *text* is given — see ``docs/analysis.md``). Unparseable
+        text comes back as a single ``GC001`` diagnostic rather than a
+        raise. Analysis resolves names against the live catalog but is
+        deliberately **config-independent**: *config* is accepted for
+        call-site symmetry with :meth:`run` and ignored — the same
+        statement yields the same diagnostics at every
+        :class:`~repro.config.ExecutionConfig` lattice point.
+        """
+        del config  # analysis is config-independent by contract
+        return analyze_statement(text_or_statement, self.catalog)
+
     def prepare(self, text: str) -> PreparedQuery:
         """Parse *text* once and return a reusable :class:`PreparedQuery`.
 
@@ -603,6 +641,7 @@ class GCoreEngine:
         params: Optional[dict] = None,
         naive: bool = False,
         config: Optional[ExecutionConfig] = None,
+        strict: bool = False,
     ) -> QueryResult:
         """Execute one G-CORE statement and return its result.
 
@@ -616,11 +655,21 @@ class GCoreEngine:
         execution-mode lattice point — planner, executor, expression
         engine, path engine, view refresh, and worker-pool parallelism.
         Non-default configs bypass the prepared-query cache so cached
-        default-mode plans never leak into pinned runs. ``naive=True``
-        is a deprecated alias for ``config=NAIVE_CONFIG`` (syntax-order
-        planner plus the full row-at-a-time reference column).
+        default-mode plans never leak into pinned runs. (The deprecated
+        ``naive`` flag is folded into a config by ``_resolve_config``;
+        see :data:`~repro.config.NAIVE_CONFIG`.)
+
+        ``strict=True`` runs the static analyzer first
+        (:meth:`analyze`) and raises
+        :class:`~repro.errors.AnalysisError` — before any planning or
+        execution — when error-level diagnostics are found. Warnings
+        and infos never block; EXPLAIN surfaces them.
         """
         config = _resolve_config(config, naive)
+        if strict:
+            analysis = self.analyze(text_or_statement)
+            if not analysis.ok:
+                raise AnalysisError(analysis)
         if isinstance(text_or_statement, (ast.Query, ast.GraphViewStmt)):
             return self._execute(text_or_statement, params, config=config)
         if config != DEFAULT_CONFIG:
@@ -712,8 +761,9 @@ class GCoreEngine:
 
         This mirrors the binding tables the paper prints in Section 3 and
         is used heavily by the reproduction tests and benchmarks.
-        *config* pins the execution-mode lattice point; ``naive=True`` is
-        the deprecated alias for the full reference column.
+        *config* pins the execution-mode lattice point (the deprecated
+        boolean flag folds into :data:`~repro.config.NAIVE_CONFIG`, the
+        full row-at-a-time reference column).
         """
         parser = Parser(tokenize(match_text))
         match = parser._match_clause()
@@ -741,7 +791,10 @@ class GCoreEngine:
         ``plan: cold``) and the :class:`~repro.config.ExecutionConfig`
         lattice point the run would execute at (``config: ...``).
         *catalog* pins name resolution to a snapshot
-        (:meth:`EngineSnapshot.explain` passes it).
+        (:meth:`EngineSnapshot.explain` passes it). The sketch ends
+        with a ``diagnostics:`` block listing the static analyzer's
+        findings for the statement (``diagnostics: none`` when clean) —
+        see ``docs/analysis.md``.
         """
         from .eval.match import decompose_chain, _AnonNamer
         from .eval.planner import explain_order, order_atoms
@@ -859,4 +912,14 @@ class GCoreEngine:
             else:
                 lines.append(f"LOCAL GRAPH {head.name}")
         walk_body(query.body, "")
+        # Static-analysis findings last: warnings/infos that never block
+        # execution but explain surprising plans (and, in strict mode,
+        # the errors run() would reject the statement for).
+        diagnostics = analyze_statement(text, resolver)
+        if not diagnostics:
+            lines.append("diagnostics: none")
+        else:
+            lines.append("diagnostics:")
+            for diagnostic in diagnostics:
+                lines.append(f"  {diagnostic.describe()}")
         return "\n".join(lines)

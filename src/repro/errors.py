@@ -74,6 +74,25 @@ class SemanticError(GCoreError):
     http_status = 400
 
 
+class AnalysisError(SemanticError):
+    """Raised in strict mode when the analyzer finds error diagnostics.
+
+    Carries the full :class:`~repro.analysis.AnalysisResult` on
+    ``result`` so callers (and the HTTP server's error envelope) can
+    surface every finding, not just the first.
+    """
+
+    code = "analysis_error"
+    http_status = 400
+
+    def __init__(self, result) -> None:
+        errors = result.errors
+        lead = errors[0].describe() if errors else "analysis failed"
+        extra = f" (+{len(errors) - 1} more)" if len(errors) > 1 else ""
+        super().__init__(f"strict mode: {lead}{extra}")
+        self.result = result
+
+
 class UnknownGraphError(SemanticError):
     """Raised when a query references a graph name not in the catalog."""
 

@@ -434,6 +434,8 @@ def _context_tokens(ctx, graph) -> Tuple[Token, Optional[Token], List[Token]]:
     try:
         default = ctx.catalog.default_graph()
     except Exception:
+        # No default graph registered (or a snapshot without one):
+        # workers simply run with no implicit ON target.
         default = None
     default_token = export(default) if default is not None else None
     active_tokens = [export(g) for g in ctx.active_graphs]
@@ -582,6 +584,8 @@ def parallel_filter(
     try:
         default = ctx.catalog.default_graph()
     except Exception:
+        # No default graph registered (or a snapshot without one):
+        # workers simply run with no implicit ON target.
         default = None
     default_token = export(default) if default is not None else None
     active_tokens = [export(g) for g in ctx.active_graphs]
@@ -671,6 +675,8 @@ def parallel_grouped_cells(
     try:
         default = ctx.catalog.default_graph()
     except Exception:
+        # No default graph registered (or a snapshot without one):
+        # workers simply run with no implicit ON target.
         default = None
     default_token = export(default) if default is not None else None
     active_tokens = [export(g) for g in ctx.active_graphs]

@@ -135,6 +135,7 @@ class GCoreServer:
         self.timeouts_total = 0
         self._routes: Dict[Tuple[str, str], Handler] = {
             ("POST", "/query"): self._post_query,
+            ("POST", "/analyze"): self._post_analyze,
             ("POST", "/prepare"): self._post_prepare,
             ("POST", "/execute"): self._post_execute,
             ("POST", "/update"): self._post_update,
@@ -298,6 +299,9 @@ class GCoreServer:
             raise BadRequest("'query' must be a non-empty string")
         params = decode_params(body.get("params"))
         config = self._effective_config(decode_config(body.get("config")))
+        strict = body.get("strict", False)
+        if not isinstance(strict, bool):
+            raise BadRequest("'strict' must be a boolean")
         timeout_s = self._timeout_seconds(body)
         row_limit = self._row_limit(body)
         engine = self.engine
@@ -305,13 +309,39 @@ class GCoreServer:
         def work() -> Dict[str, Any]:
             started = time.monotonic()
             with engine.snapshot() as snapshot:
-                result = snapshot.run(text, params, config=config)
+                result = snapshot.run(text, params, config=config,
+                                      strict=strict)
                 payload = serialize_result(result, row_limit)
                 epochs = {
                     name: snapshot.epoch(name)
                     for name in snapshot.catalog.graph_names()
                 }
             payload["epochs"] = epochs
+            payload["elapsed_ms"] = round(
+                (time.monotonic() - started) * 1000, 3
+            )
+            return payload
+
+        return await self._run_admitted(work, timeout_s)
+
+    async def _post_analyze(self, request: Request) -> Dict[str, Any]:
+        """Static analysis only: diagnostics in, nothing executed.
+
+        Always answers 200 for analyzable input — a statement that does
+        not even parse comes back as a ``GC001`` diagnostic in the same
+        envelope, not as an error response (``docs/analysis.md``).
+        """
+        body = request.json_object()
+        text = body.get("query")
+        if not isinstance(text, str) or not text.strip():
+            raise BadRequest("'query' must be a non-empty string")
+        timeout_s = self._timeout_seconds(body)
+        engine = self.engine
+
+        def work() -> Dict[str, Any]:
+            started = time.monotonic()
+            with engine.snapshot() as snapshot:
+                payload = snapshot.analyze(text).to_json()
             payload["elapsed_ms"] = round(
                 (time.monotonic() - started) * 1000, 3
             )

@@ -1,0 +1,122 @@
+"""Diagnostic / AnalysisResult value semantics (no analyzer involved)."""
+
+import pytest
+
+from repro.analysis import CODES, SEVERITIES, AnalysisResult, Diagnostic
+from repro.analysis.diagnostics import severity_rank
+
+
+def make(code="GC204", severity=None, **kwargs):
+    info = CODES[code]
+    return Diagnostic(
+        code=code,
+        severity=severity or info.severity,
+        message=kwargs.pop("message", "msg"),
+        **kwargs,
+    )
+
+
+class TestRegistry:
+    def test_every_code_has_name_severity_and_summary(self):
+        for code, info in CODES.items():
+            assert info.code == code
+            assert info.severity in SEVERITIES
+            assert info.name
+            assert info.summary
+
+    def test_registry_covers_all_families(self):
+        families = {code[:3] for code in CODES}
+        assert families == {"GC0", "GC1", "GC2", "GC3", "GC4"}
+
+    def test_severity_rank_is_total(self):
+        ranks = [severity_rank(s) for s in SEVERITIES]
+        assert ranks == sorted(ranks)
+        assert len(set(ranks)) == len(SEVERITIES)
+
+
+class TestDiagnostic:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic(code="GC999", severity="error", message="x")
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic(code="GC204", severity="fatal", message="x")
+
+    def test_describe_with_and_without_span(self):
+        spanless = make(message="boom")
+        assert spanless.describe() == "GC204 error: boom"
+        spanned = make(message="boom", line=3, column=7, hint="fix it")
+        assert spanned.describe() == "GC204 error [3:7]: boom (hint: fix it)"
+
+    def test_to_json_omits_absent_optionals(self):
+        payload = make(message="boom").to_json()
+        assert payload == {
+            "code": "GC204",
+            "name": CODES["GC204"].name,
+            "severity": "error",
+            "message": "boom",
+        }
+
+    def test_to_json_carries_span_and_hint(self):
+        payload = make(message="boom", line=2, column=5, hint="h").to_json()
+        assert payload["line"] == 2
+        assert payload["column"] == 5
+        assert payload["hint"] == "h"
+
+
+class TestAnalysisResult:
+    def test_sorted_worst_first_then_position(self):
+        result = AnalysisResult(
+            [
+                make("GC401", message="warn", line=1, column=1),
+                make("GC204", message="late error", line=9, column=1),
+                make("GC302", message="info"),
+                make("GC204", message="early error", line=2, column=1),
+            ]
+        )
+        assert [d.severity for d in result] == [
+            "error",
+            "error",
+            "warning",
+            "info",
+        ]
+        assert result[0].message == "early error"
+
+    def test_counts_and_ok(self):
+        result = AnalysisResult(
+            [make("GC204"), make("GC401"), make("GC302")]
+        )
+        assert not result.ok
+        assert len(result.errors) == 1
+        assert len(result.warnings) == 1
+        assert len(result.infos) == 1
+        assert result.max_severity == "error"
+
+    def test_ok_tolerates_warnings_and_infos(self):
+        assert AnalysisResult([]).ok
+        assert AnalysisResult([make("GC401")]).ok
+        assert AnalysisResult([make("GC302")]).ok
+
+    @pytest.mark.parametrize(
+        "codes,expected",
+        [((), 0), (("GC302",), 0), (("GC401",), 1), (("GC401", "GC204"), 2)],
+    )
+    def test_exit_code(self, codes, expected):
+        result = AnalysisResult([make(c) for c in codes])
+        assert result.exit_code() == expected
+
+    def test_to_json_envelope(self):
+        result = AnalysisResult([make("GC204"), make("GC401")])
+        payload = result.to_json()
+        assert payload["ok"] is False
+        assert payload["error_count"] == 1
+        assert payload["warning_count"] == 1
+        assert payload["info_count"] == 0
+        assert [d["code"] for d in payload["diagnostics"]] == [
+            "GC204",
+            "GC401",
+        ]
+
+    def test_describe_empty(self):
+        assert AnalysisResult([]).describe() == "no diagnostics"

@@ -1,0 +1,93 @@
+"""The error-code table in ``docs/http-api.md`` ⟷ the source of truth.
+
+Both directions: every wire code a ``GCoreError``/``ApiError`` subclass
+can serialize must appear in the documented table, and every documented
+code must exist in the source — drift in either direction fails tier-1.
+"""
+
+import ast
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: The abstract roots: never serialized with their own code (every
+#: concrete subclass overrides), so they are exempt from documentation.
+ABSTRACT_CODES = {"gcore_error"}
+
+SOURCES = (
+    REPO_ROOT / "src" / "repro" / "errors.py",
+    REPO_ROOT / "src" / "repro" / "server" / "protocol.py",
+)
+
+# | `code` | 400 | ... |
+_TABLE_ROW = re.compile(r"^\|\s*`([a-z_]+)`\s*\|\s*(\d{3})\s*\|")
+
+
+def source_codes():
+    """code -> http_status assigned in any error class body."""
+    codes = {}
+    for path in SOURCES:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            fields = {}
+            for stmt in node.body:
+                if isinstance(stmt, ast.Assign) and isinstance(
+                    stmt.value, ast.Constant
+                ):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            fields[target.id] = stmt.value.value
+            if "code" in fields and "http_status" in fields:
+                codes[fields["code"]] = fields["http_status"]
+    return codes
+
+
+def documented_codes():
+    text = (REPO_ROOT / "docs" / "http-api.md").read_text(encoding="utf-8")
+    table = {}
+    for line in text.splitlines():
+        match = _TABLE_ROW.match(line.strip())
+        if match:
+            table[match.group(1)] = int(match.group(2))
+    return table
+
+
+def test_every_source_code_is_documented():
+    missing = (
+        set(source_codes()) - ABSTRACT_CODES - set(documented_codes())
+    )
+    assert not missing, (
+        f"error codes missing from docs/http-api.md: {sorted(missing)}"
+    )
+
+
+def test_every_documented_code_exists_in_source():
+    phantom = set(documented_codes()) - set(source_codes())
+    assert not phantom, (
+        f"docs/http-api.md documents codes the source never raises: "
+        f"{sorted(phantom)}"
+    )
+
+
+def test_documented_status_matches_source():
+    source = source_codes()
+    mismatches = {
+        code: (status, source[code])
+        for code, status in documented_codes().items()
+        if code in source and source[code] != status
+    }
+    assert not mismatches, f"HTTP status drift (doc, source): {mismatches}"
+
+
+def test_analysis_error_is_wired():
+    """The new strict-mode code is present on both sides."""
+    assert source_codes().get("analysis_error") == 400
+    assert documented_codes().get("analysis_error") == 400
+
+
+def test_sanity_the_parsers_found_a_real_table():
+    assert len(source_codes()) >= 15
+    assert len(documented_codes()) >= 15

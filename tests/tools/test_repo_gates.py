@@ -1,0 +1,175 @@
+"""The CI gate scripts: ``tools/lint_repo.py`` and ``tools/run_mypy.py``.
+
+Both are plain scripts (not part of the ``repro`` package), so they are
+loaded by file path. The live repo must pass the repo lint; the
+synthetic cases prove each invariant actually detects its violation.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def load_tool(name):
+    spec = importlib.util.spec_from_file_location(
+        name, REPO_ROOT / "tools" / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+lint_repo = load_tool("lint_repo")
+run_mypy = load_tool("run_mypy")
+
+
+class TestLintRepoLive:
+    def test_the_repo_is_clean(self):
+        assert lint_repo.run_lint(REPO_ROOT) == []
+
+    def test_main_exit_code(self, capsys):
+        assert lint_repo.main(["--root", str(REPO_ROOT)]) == 0
+        assert "lint_repo: clean" in capsys.readouterr().out
+
+
+@pytest.fixture()
+def fake_repo(tmp_path):
+    """A minimal tree satisfying every lint invariant."""
+    errors = tmp_path / "src" / "repro" / "errors.py"
+    errors.parent.mkdir(parents=True)
+    errors.write_text(
+        "class GCoreError(Exception):\n"
+        '    code = "internal"\n'
+        "    http_status = 500\n",
+        encoding="utf-8",
+    )
+    protocol = tmp_path / "src" / "repro" / "server" / "protocol.py"
+    protocol.parent.mkdir(parents=True)
+    protocol.write_text(
+        "class ApiError(Exception):\n"
+        '    code = "api"\n'
+        "    http_status = 500\n",
+        encoding="utf-8",
+    )
+    parallel = tmp_path / "src" / "repro" / "eval" / "parallel.py"
+    parallel.parent.mkdir(parents=True)
+    parallel.write_text(
+        "try:\n    pass\nexcept Exception:  # safe: degrade to serial\n"
+        "    pass\n",
+        encoding="utf-8",
+    )
+    (tmp_path / "src" / "repro" / "eval" / "match.py").write_text(
+        "run(naive=True)\n", encoding="utf-8"
+    )
+    return tmp_path
+
+
+class TestLintRepoSynthetic:
+    def test_clean_fake_repo(self, fake_repo):
+        assert lint_repo.run_lint(fake_repo) == []
+
+    def test_error_class_missing_http_status(self, fake_repo):
+        errors = fake_repo / "src" / "repro" / "errors.py"
+        errors.write_text(
+            errors.read_text(encoding="utf-8")
+            + "\n\nclass BrokenError(GCoreError):\n    code = 'broken'\n",
+            encoding="utf-8",
+        )
+        problems = lint_repo.run_lint(fake_repo)
+        assert len(problems) == 1
+        assert "BrokenError" in problems[0]
+        assert "http_status" in problems[0]
+
+    def test_indirect_subclass_is_covered(self, fake_repo):
+        errors = fake_repo / "src" / "repro" / "errors.py"
+        errors.write_text(
+            errors.read_text(encoding="utf-8")
+            + "\n\nclass Mid(GCoreError):\n"
+            "    code = 'mid'\n    http_status = 400\n"
+            "\n\nclass Leaf(Mid):\n    pass\n",
+            encoding="utf-8",
+        )
+        problems = lint_repo.run_lint(fake_repo)
+        assert {p.split("class ")[1].split(" ")[0] for p in problems} == {
+            "Leaf"
+        }
+
+    def test_unrelated_class_not_checked(self, fake_repo):
+        errors = fake_repo / "src" / "repro" / "errors.py"
+        errors.write_text(
+            errors.read_text(encoding="utf-8")
+            + "\n\nclass NotAnError:\n    pass\n",
+            encoding="utf-8",
+        )
+        assert lint_repo.run_lint(fake_repo) == []
+
+    def test_new_naive_callsite_flagged(self, fake_repo):
+        rogue = fake_repo / "src" / "repro" / "rogue.py"
+        rogue.write_text("engine.run(q, naive=True)\n", encoding="utf-8")
+        problems = lint_repo.run_lint(fake_repo)
+        assert len(problems) == 1
+        assert "naive=True" in problems[0]
+
+    def test_allowlisted_naive_callsite_ok(self, fake_repo):
+        # fake_repo's match.py already passes naive=True: no violation.
+        assert lint_repo.run_lint(fake_repo) == []
+
+    def test_uncommented_fallback_flagged(self, fake_repo):
+        parallel = fake_repo / "src" / "repro" / "eval" / "parallel.py"
+        parallel.write_text(
+            "try:\n    pass\nexcept Exception:\n    pass\n",
+            encoding="utf-8",
+        )
+        problems = lint_repo.run_lint(fake_repo)
+        assert len(problems) == 1
+        assert "except Exception" in problems[0]
+
+    def test_comment_on_next_line_accepted(self, fake_repo):
+        parallel = fake_repo / "src" / "repro" / "eval" / "parallel.py"
+        parallel.write_text(
+            "try:\n    pass\nexcept Exception:\n"
+            "    # workers fall back to the serial path\n    pass\n",
+            encoding="utf-8",
+        )
+        assert lint_repo.run_lint(fake_repo) == []
+
+
+class TestMypyGateLogic:
+    GLOBS = ["src/repro/engine.py", "src/repro/eval/*"]
+
+    def test_is_baselined(self):
+        assert run_mypy.is_baselined("src/repro/engine.py", self.GLOBS)
+        assert run_mypy.is_baselined("src/repro/eval/match.py", self.GLOBS)
+        assert not run_mypy.is_baselined(
+            "src/repro/analysis/analyzer.py", self.GLOBS
+        )
+
+    def test_split_report_buckets_by_path(self):
+        output = (
+            "src/repro/engine.py:10: error: boom  [misc]\n"
+            "src/repro/engine.py:10: note: see docs\n"
+            "src/repro/analysis/analyzer.py:5: error: real problem  [misc]\n"
+            "Found 2 errors in 2 files (checked 40 source files)\n"
+        )
+        blocking, baselined = run_mypy.split_report(output, self.GLOBS)
+        assert any("real problem" in line for line in blocking)
+        assert all("engine.py" not in line for line in blocking)
+        assert any("boom" in line for line in baselined)
+        assert any("note" in line for line in baselined)
+
+    def test_split_report_clean_run(self):
+        blocking, baselined = run_mypy.split_report(
+            "Success: no issues found in 40 source files\n", self.GLOBS
+        )
+        assert blocking == []
+        assert baselined == []
+
+    def test_committed_baseline_parses(self):
+        globs = run_mypy.load_baseline()
+        assert globs, "baseline file should list legacy module globs"
+        assert all(not g.startswith("#") for g in globs)
+        # the analysis package must never be baselined
+        assert not any("analysis" in g for g in globs)

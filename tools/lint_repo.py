@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Repo-invariant lint: AST-level checks CI runs blocking.
+
+Three invariants that ordinary linters cannot express:
+
+1. **Error wire contract** — every ``GCoreError`` subclass in
+   ``src/repro/errors.py`` and every ``ApiError`` subclass in
+   ``src/repro/server/protocol.py`` must assign both ``code`` and
+   ``http_status`` in its own class body. The pair is the HTTP error
+   envelope's stable contract (``docs/http-api.md``); inheriting one
+   silently is how codes drift.
+2. **No new ``naive=True`` call sites** — the flag is a deprecated
+   alias (see ``repro.config.NAIVE_CONFIG``); only the allow-listed
+   shim/reference modules may still pass it.
+3. **Commented fallbacks** — every ``except Exception`` in
+   ``src/repro/eval/parallel.py`` must carry a comment (inline or as
+   the handler's first line) saying *why* swallowing is safe; the
+   module's whole design is silent degradation to the serial path, so
+   an uncommented handler is indistinguishable from a bug.
+
+Exit status: 0 clean, 1 violations (one per line on stdout).
+
+Usage::
+
+    python tools/lint_repo.py [--root PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Dict, List, Set
+
+#: Modules that may still pass naive=True: the deprecated-alias shim
+#: lives in engine.py (warns + folds into NAIVE_CONFIG), and the
+#: reference-oracle call sites in eval/match.py predate the config axis.
+NAIVE_ALLOWLIST = {
+    Path("src/repro/eval/match.py"),
+}
+
+ERROR_HIERARCHIES = {
+    Path("src/repro/errors.py"): "GCoreError",
+    Path("src/repro/server/protocol.py"): "ApiError",
+}
+
+PARALLEL_FALLBACKS = Path("src/repro/eval/parallel.py")
+
+
+def check_error_contract(root: Path) -> List[str]:
+    """Invariant 1: code + http_status in every error class body."""
+    problems: List[str] = []
+    for rel_path, base_name in ERROR_HIERARCHIES.items():
+        path = root / rel_path
+        tree = ast.parse(path.read_text(encoding="utf-8"), str(path))
+        classes: Dict[str, ast.ClassDef] = {
+            node.name: node
+            for node in ast.walk(tree)
+            if isinstance(node, ast.ClassDef)
+        }
+
+        def in_hierarchy(name: str, seen: Set[str]) -> bool:
+            if name == base_name:
+                return True
+            node = classes.get(name)
+            if node is None or name in seen:
+                return False
+            seen.add(name)
+            return any(
+                in_hierarchy(b.id, seen)
+                for b in node.bases
+                if isinstance(b, ast.Name)
+            )
+
+        for name, node in sorted(classes.items()):
+            if not in_hierarchy(name, set()):
+                continue
+            assigned = {
+                target.id
+                for stmt in node.body
+                if isinstance(stmt, ast.Assign)
+                for target in stmt.targets
+                if isinstance(target, ast.Name)
+            }
+            assigned |= {
+                stmt.target.id
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+            }
+            for required in ("code", "http_status"):
+                if required not in assigned:
+                    problems.append(
+                        f"{rel_path}:{node.lineno}: class {name} does not "
+                        f"assign {required!r} in its own body (error "
+                        f"envelope contract)"
+                    )
+    return problems
+
+
+def check_naive_callsites(root: Path) -> List[str]:
+    """Invariant 2: naive=True only in the allow-listed shim modules."""
+    problems: List[str] = []
+    for path in sorted((root / "src" / "repro").rglob("*.py")):
+        rel = path.relative_to(root)
+        if rel in NAIVE_ALLOWLIST:
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"), str(path))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for keyword in node.keywords:
+                if (
+                    keyword.arg == "naive"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                ):
+                    problems.append(
+                        f"{rel}:{node.lineno}: new naive=True call site "
+                        f"(pass config=NAIVE_CONFIG instead)"
+                    )
+    return problems
+
+
+def check_parallel_fallbacks(root: Path) -> List[str]:
+    """Invariant 3: every except Exception in parallel.py is commented."""
+    problems: List[str] = []
+    path = root / PARALLEL_FALLBACKS
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped.startswith("except Exception"):
+            continue
+        if "#" in line:
+            continue  # inline justification
+        # Otherwise the handler body must open with a comment block.
+        follower = lines[index + 1].strip() if index + 1 < len(lines) else ""
+        if not follower.startswith("#"):
+            problems.append(
+                f"{PARALLEL_FALLBACKS}:{index + 1}: bare 'except Exception' "
+                f"fallback without a justifying comment"
+            )
+    return problems
+
+
+def run_lint(root: Path) -> List[str]:
+    problems: List[str] = []
+    problems += check_error_contract(root)
+    problems += check_naive_callsites(root)
+    problems += check_parallel_fallbacks(root)
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", default=".", help="repository root (default: cwd)"
+    )
+    args = parser.parse_args(argv)
+    problems = run_lint(Path(args.root))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"lint_repo: {len(problems)} violation(s)", file=sys.stderr)
+        return 1
+    print("lint_repo: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

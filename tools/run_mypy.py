@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Baseline-aware mypy gate.
+
+Runs mypy over the package (configuration lives in ``[tool.mypy]`` in
+``pyproject.toml``) and splits its diagnostics against the committed
+baseline ``tools/mypy_baseline.txt``:
+
+* errors in files matching a baseline glob are printed as
+  ``baseline:``-prefixed notices and do NOT fail the gate;
+* errors anywhere else (new modules, and the fully-annotated
+  ``repro.analysis`` package) fail the gate.
+
+This keeps the CI job blocking without requiring a big-bang annotation
+pass over pre-typing modules, and without an exact-line baseline that
+would rot on every unrelated edit. Shrink the baseline over time;
+never grow it.
+
+Usage: ``python tools/run_mypy.py [extra mypy args...]``
+Exit codes: 0 clean (or baseline-only), 1 new errors, 2 mypy crashed.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import pathlib
+import re
+import subprocess
+import sys
+from typing import List, Tuple
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE = ROOT / "tools" / "mypy_baseline.txt"
+
+# "path:line: error: message  [code]" (column is optional).
+_ERROR_LINE = re.compile(r"^(?P<path>[^:]+):\d+(?::\d+)?: error: ")
+
+
+def load_baseline() -> List[str]:
+    globs: List[str] = []
+    for raw in BASELINE.read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if line and not line.startswith("#"):
+            globs.append(line)
+    return globs
+
+
+def is_baselined(path: str, globs: List[str]) -> bool:
+    posix = pathlib.PurePath(path).as_posix()
+    return any(fnmatch.fnmatch(posix, glob) for glob in globs)
+
+
+def split_report(output: str, globs: List[str]) -> Tuple[List[str], List[str]]:
+    """(blocking, baselined) mypy output lines.
+
+    Non-error lines (notes, the summary) ride along with whichever
+    bucket their preceding error landed in; leading notes are blocking.
+    """
+    blocking: List[str] = []
+    baselined: List[str] = []
+    current = blocking
+    for line in output.splitlines():
+        match = _ERROR_LINE.match(line)
+        if match:
+            current = baselined if is_baselined(match.group("path"), globs) else blocking
+        elif line.startswith("Found ") or line.startswith("Success:"):
+            continue  # recomputed below
+        current.append(line)
+    return blocking, baselined
+
+
+def main(argv: List[str]) -> int:
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", *argv],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode not in (0, 1):  # 2 = crash / bad config
+        sys.stderr.write(proc.stdout + proc.stderr)
+        return 2
+
+    globs = load_baseline()
+    blocking, baselined = split_report(proc.stdout, globs)
+    blocking = [line for line in blocking if line.strip()]
+    baselined = [line for line in baselined if line.strip()]
+
+    for line in baselined:
+        print(f"baseline: {line}")
+    for line in blocking:
+        print(line)
+    print(
+        f"mypy gate: {len(blocking)} blocking error(s), "
+        f"{len(baselined)} baselined notice(s)"
+    )
+    return 1 if blocking else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
