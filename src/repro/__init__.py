@@ -43,6 +43,7 @@ from .errors import (
     SemanticError,
     StaleViewError,
     UnknownGraphError,
+    UnknownNameError,
     UnknownPathViewError,
     UnknownTableError,
     ValidationError,
@@ -84,6 +85,7 @@ __all__ = [
     "DeltaError",
     "StaleViewError",
     "UnknownGraphError",
+    "UnknownNameError",
     "UnknownTableError",
     "UnknownPathViewError",
     "ValidationError",

@@ -199,13 +199,13 @@ class CatalogSnapshot:
                     self._tables[name], name
                 )
             return self._table_graph_cache[name]
-        raise UnknownGraphError(name)
+        raise UnknownGraphError(name, candidates=[*self._graphs, *self._tables])
 
     def table(self, name: str) -> Table:
         try:
             return self._tables[name]
         except KeyError:
-            raise UnknownTableError(name) from None
+            raise UnknownTableError(name, candidates=self._tables) from None
 
     def path_view(self, name: str) -> Optional["ast.PathClause"]:
         return self._path_views.get(name)
@@ -473,7 +473,7 @@ class Catalog:
         try:
             return self._graphs[name]
         except KeyError:
-            raise UnknownGraphError(name) from None
+            raise UnknownGraphError(name, candidates=self._graphs) from None
 
     def graph(self, name: str) -> PathPropertyGraph:
         """Resolve *name* to a graph: base graph, view, or table-as-graph."""
@@ -487,13 +487,15 @@ class Catalog:
                     self._tables[name], name
                 )
             return self._table_graph_cache[name]
-        raise UnknownGraphError(name)
+        raise UnknownGraphError(
+            name, candidates=[*self._graphs, *self._views, *self._tables]
+        )
 
     def table(self, name: str) -> Table:
         try:
             return self._tables[name]
         except KeyError:
-            raise UnknownTableError(name) from None
+            raise UnknownTableError(name, candidates=self._tables) from None
 
     def schema(self, name: str) -> Optional["GraphSchema"]:
         """The schema attached to base graph *name* (None if unconstrained)."""

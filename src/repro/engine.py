@@ -488,7 +488,7 @@ class GCoreEngine:
     def set_default_graph(self, name: str) -> None:
         with self._lock:
             if not self.catalog.has_graph(name):
-                raise UnknownGraphError(name)
+                raise UnknownGraphError(name, candidates=self.catalog.graph_names())
             self.catalog.default_graph_name = name
             self.clear_plan_cache()
 

@@ -8,6 +8,16 @@ clause.
 
 from __future__ import annotations
 
+from typing import Iterable, Optional, Tuple
+
+
+def _closest(name: str, candidates: Tuple[str, ...]) -> Optional[str]:
+    """The best did-you-mean candidate for *name*, if any is close."""
+    import difflib
+
+    matches = difflib.get_close_matches(name, candidates, n=1, cutoff=0.6)
+    return matches[0] if matches else None
+
 
 class GCoreError(Exception):
     """Base class for all errors raised by this library.
@@ -93,37 +103,80 @@ class AnalysisError(SemanticError):
         self.result = result
 
 
-class UnknownGraphError(SemanticError):
+class UnknownNameError(SemanticError):
+    """Base for run-time unknown-name errors (graph, table, path view).
+
+    These mirror the analyzer's GC101/GC102/GC105 diagnostics so the two
+    paths stay structurally comparable: each subclass pins the analyzer
+    ``diagnostic_code`` it corresponds to, carries a ``hint`` (upgraded
+    to a did-you-mean when the raise site supplies the catalog's
+    candidate names), and renders itself as a
+    :class:`~repro.analysis.Diagnostic` via :meth:`to_diagnostic`.
+    """
+
+    code = "unknown_name"
+    http_status = 404
+    #: the analyzer diagnostic this error mirrors (GC101/GC102/GC105)
+    diagnostic_code = "GC101"
+    #: human noun for the name kind ("graph", "table", "path view")
+    kind = "name"
+    #: hint used when no candidate is close enough for a did-you-mean
+    default_hint = "check the spelling"
+
+    def __init__(self, name: str, candidates: Iterable[str] = ()) -> None:
+        self.name = name
+        self.candidates = tuple(sorted(set(candidates)))
+        suggestion = _closest(name, self.candidates)
+        if suggestion is not None:
+            self.hint: str = f"did you mean {suggestion!r}?"
+        else:
+            self.hint = self.default_hint
+        super().__init__(f"unknown {self.kind}: {name!r} ({self.hint})")
+
+    def to_diagnostic(self):
+        """This error as an analyzer-grade :class:`Diagnostic`.
+
+        Positions are ``None``: the raise sites sit behind the planner,
+        where the offending AST node no longer knows its source span.
+        """
+        from .analysis.diagnostics import Diagnostic
+
+        return Diagnostic(
+            code=self.diagnostic_code,
+            severity="error",
+            message=f"unknown {self.kind}: {self.name!r}",
+            hint=self.hint,
+        )
+
+
+class UnknownGraphError(UnknownNameError):
     """Raised when a query references a graph name not in the catalog."""
 
     code = "unknown_graph"
     http_status = 404
+    diagnostic_code = "GC101"
+    kind = "graph"
+    default_hint = "register the graph or check the spelling"
 
-    def __init__(self, name: str) -> None:
-        super().__init__(f"unknown graph: {name!r}")
-        self.name = name
 
-
-class UnknownTableError(SemanticError):
+class UnknownTableError(UnknownNameError):
     """Raised when a query references a table name not in the catalog."""
 
     code = "unknown_table"
     http_status = 404
+    diagnostic_code = "GC102"
+    kind = "table"
+    default_hint = "register the table or check the spelling"
 
-    def __init__(self, name: str) -> None:
-        super().__init__(f"unknown table: {name!r}")
-        self.name = name
 
-
-class UnknownPathViewError(SemanticError):
+class UnknownPathViewError(UnknownNameError):
     """Raised when a regular path expression references an undefined view."""
 
     code = "unknown_path_view"
     http_status = 404
-
-    def __init__(self, name: str) -> None:
-        super().__init__(f"unknown path view: {name!r}")
-        self.name = name
+    diagnostic_code = "GC105"
+    kind = "path view"
+    default_hint = "define it with a PATH clause or register it as a PATH view"
 
 
 class EvaluationError(GCoreError):

@@ -279,6 +279,28 @@ class EvalContext:
         return graph.properties(obj)
 
     # ------------------------------------------------------------------
+    def require_path_view(self, name: str):
+        """Resolve path view *name* or raise :class:`UnknownPathViewError`.
+
+        Match evaluation calls this eagerly for every view a block's
+        regexes mention: whether the path atom itself ever runs depends
+        on the data and the planner's atom order (an empty binding table
+        short-circuits the rest of the block), but name-resolution
+        errors must not — the static analyzer reports GC105 for every
+        lattice point, so execution has to raise for every lattice
+        point too.
+        """
+        clause = self.resolve_path_view(name)
+        if clause is None:
+            from ..errors import UnknownPathViewError
+
+            known = list(self.local_path_views)
+            names_of = getattr(self.catalog, "path_view_names", None)
+            if callable(names_of):
+                known.extend(names_of())
+            raise UnknownPathViewError(name, candidates=known)
+        return clause
+
     def segments_for(
         self, name: str, graph: PathPropertyGraph
     ) -> Mapping[ObjectId, Tuple[ViewSegment, ...]]:
@@ -287,10 +309,6 @@ class EvalContext:
         if key not in self._segment_cache:
             from .pathviews import materialize_path_view  # local import: cycle
 
-            clause = self.resolve_path_view(name)
-            if clause is None:
-                from ..errors import UnknownPathViewError
-
-                raise UnknownPathViewError(name)
+            clause = self.require_path_view(name)
             self._segment_cache[key] = materialize_path_view(clause, graph, self)
         return self._segment_cache[key]

@@ -432,6 +432,12 @@ class EdgeAtom:
                     if not _satisfies_labels(graph.labels(edge), pattern.labels):
                         continue
                     src, dst = graph.endpoints(edge)
+                    # A self-loop pattern (n)-[e]->(n) collapses both
+                    # endpoint variables into one name; when that name is
+                    # unbound, binding the source would silently satisfy
+                    # the target too, so the equality must be explicit.
+                    if from_var == to_var and src != dst:
+                        continue
                     if from_var in row and row[from_var] != src:
                         continue
                     if to_var in row and row[to_var] != dst:
@@ -550,6 +556,8 @@ class EdgeAtom:
                     if not ok:
                         continue
                     src, dst = rho(edge)
+                    if from_var == to_var and src != dst:
+                        continue  # self-loop pattern: endpoints must agree
                     if fv is not ABSENT and fv != src:
                         continue
                     if tv is not ABSENT and tv != dst:
@@ -644,6 +652,8 @@ class PathAtom:
             for pid in candidates:
                 sequence = graph.path_sequence(pid)
                 start, end = sequence[0], sequence[-1]
+                if self.from_var == self.to_var and start != end:
+                    continue  # self-loop pattern: endpoints must agree
                 if self.from_var in row and row[self.from_var] != start:
                     continue
                 if self.to_var in row and row[self.to_var] != end:
@@ -869,6 +879,15 @@ class PathAtom:
                 return {from_var: source}
             return {}
 
+        def target_at(index: int, assigned: Dict[str, Any]) -> Any:
+            # A self-loop pattern shares one variable between endpoints;
+            # once base_assignment pins it to the source, the target is
+            # pinned too (the reference executor gets this for free from
+            # row.extend, so the table vector alone is not the truth).
+            if to_var in assigned:
+                return assigned[to_var]
+            return value_at(to_var, index)
+
         sources = [s for s in sorted(groups, key=str) if s in graph.nodes]
 
         if pattern.mode == "reach":
@@ -883,7 +902,7 @@ class PathAtom:
                 reachable = reachable_by_source[source]
                 for i in groups[source]:
                     assigned = base_assignment(i, source)
-                    bound_target = value_at(to_var, i)
+                    bound_target = target_at(i, assigned)
                     if bound_target is not ABSENT:
                         if bound_target in reachable:
                             emit(i, assigned)
@@ -894,7 +913,7 @@ class PathAtom:
             for source in sources:
                 for i in groups[source]:
                     assigned = base_assignment(i, source)
-                    bound_target = value_at(to_var, i)
+                    bound_target = target_at(i, assigned)
                     targets = (
                         [bound_target]
                         if bound_target is not ABSENT
@@ -942,7 +961,7 @@ class PathAtom:
                 walks = walks_by_source[source]
                 for i in groups[source]:
                     assigned = base_assignment(i, source)
-                    bound_target = value_at(to_var, i)
+                    bound_target = target_at(i, assigned)
                     if bound_target is not ABSENT:
                         walk = walks.get(bound_target)
                         if walk is not None:
@@ -961,7 +980,7 @@ class PathAtom:
                 walks_cache: Dict[Any, List[Walk]] = {}
                 for i in groups[source]:
                     assigned = base_assignment(i, source)
-                    bound_target = value_at(to_var, i)
+                    bound_target = target_at(i, assigned)
                     if bound_target is not ABSENT:
                         targets = [bound_target]
                     elif shared_targets is not None:
@@ -1303,6 +1322,22 @@ def evaluate_block(
         plan = PushdownPlan(block.where, ctx.params)
         pushed_props = plan.pushed_property_keys() or None
     bound_by_atoms: Set[str] = set()
+    # Name resolution is eager for the whole block. Whether a given atom
+    # (or a whole later pattern) ever executes depends on the data and
+    # the planner's atom order — an empty binding table short-circuits
+    # the rest of the block — but an unknown ON graph or path view must
+    # raise at every ExecutionConfig lattice point, matching the static
+    # analyzer's GC101/GC105 verdicts.
+    for location in block.patterns:
+        if isinstance(location.on, str):
+            ctx.resolve_graph(location.on)
+        for element in location.chain.elements:
+            if (
+                isinstance(element, ast.PathPatternElem)
+                and element.regex is not None
+            ):
+                for view_name in sorted(regex_view_names(element.regex)):
+                    ctx.require_path_view(view_name)
     # Morsel dispatch rides on single-location columnar blocks: atoms run
     # serially until the binding table is wide enough to split, then the
     # remaining atoms and the residual WHERE move to the worker pool.

@@ -54,6 +54,7 @@ from __future__ import annotations
 
 import atexit
 import itertools
+import pickle
 import threading
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -66,14 +67,56 @@ from ..paths.automaton import regex_view_names
 from ..paths.product import partition_sources
 
 __all__ = [
+    "POOL_FALLBACK_EXCEPTIONS",
+    "fallback_counts",
     "morsel_ranges",
     "parallel_block_tail",
     "parallel_filter",
     "parallel_grouped_cells",
     "parallel_reachable_multi",
     "parallel_shortest_multi",
+    "record_fallback",
+    "reset_fallback_counts",
     "shutdown_pools",
 ]
+
+#: The exceptions that legitimately mean "this dispatch cannot run on the
+#: pool — degrade to the serial path". Everything else (AssertionError
+#: from a worker invariant, KeyboardInterrupt, genuine bugs in worker
+#: code) propagates to the caller instead of being silently swallowed;
+#: the differential fuzzer depends on that to observe worker failures.
+POOL_FALLBACK_EXCEPTIONS = (
+    OSError,  # fork/pipe/file-descriptor failures (sandboxed fork)
+    RuntimeError,  # BrokenExecutor & pool use during interpreter shutdown
+    pickle.PicklingError,  # unpicklable task payload
+    TypeError,  # pickle's other "cannot serialize" complaint
+    EOFError,  # a worker died mid-result and tore the pipe
+)
+
+# ---------------------------------------------------------------------------
+# Fallback observability (surfaced by the HTTP server's /stats endpoint)
+# ---------------------------------------------------------------------------
+
+_FALLBACK_LOCK = threading.Lock()
+_FALLBACK_COUNTS: Dict[str, int] = {}
+
+
+def record_fallback(site: str) -> None:
+    """Count one silent degradation to the serial path at *site*."""
+    with _FALLBACK_LOCK:
+        _FALLBACK_COUNTS[site] = _FALLBACK_COUNTS.get(site, 0) + 1
+
+
+def fallback_counts() -> Dict[str, int]:
+    """A snapshot of the per-site fallback counters (``site -> count``)."""
+    with _FALLBACK_LOCK:
+        return dict(sorted(_FALLBACK_COUNTS.items()))
+
+
+def reset_fallback_counts() -> None:
+    """Zero the fallback counters (tests)."""
+    with _FALLBACK_LOCK:
+        _FALLBACK_COUNTS.clear()
 
 # ---------------------------------------------------------------------------
 # Tunables (module-level so tests and benchmarks can pin them)
@@ -96,7 +139,7 @@ try:  # pragma: no cover - platform probe
     import multiprocessing
 
     _FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
-except Exception:  # pragma: no cover - multiprocessing missing entirely
+except (ImportError, OSError):  # pragma: no cover - multiprocessing missing
     multiprocessing = None  # type: ignore[assignment]
 
 #: ``"fork"`` (real multi-core scaling, Linux/macOS), ``"spawn"``
@@ -189,9 +232,10 @@ def _resolve(token: Token) -> Any:
 
         try:
             return _reopen_graph(token[1], token[2], token[3])
-        except Exception:
-            # Unreadable/removed snapshot file: report stale; the
+        except (OSError, ValueError, GCoreError):
+            # Unreadable/removed/corrupt snapshot file: report stale; the
             # dispatcher recycles and ultimately falls back to serial.
+            record_fallback("snapshot_reopen")
             return _MISSING
     return _EXPORTS.get(token, _MISSING)
 
@@ -260,6 +304,10 @@ atexit.register(shutdown_pools)
 class _Fallback(Exception):
     """Internal: this dispatch cannot run in parallel — go serial."""
 
+    def __init__(self, reason: str = "pool_error") -> None:
+        super().__init__(reason)
+        self.reason = reason
+
 
 def _run_tasks(fn, payloads: List[Any], config: ExecutionConfig) -> List[Any]:
     """Map *fn* over *payloads* on the configured pool, in order.
@@ -268,6 +316,8 @@ def _run_tasks(fn, payloads: List[Any], config: ExecutionConfig) -> List[Any]:
     the serial path); re-raises :class:`~repro.errors.GCoreError` from
     workers (genuine query errors — serial would raise them too). A
     stale export token recycles the pool (re-fork) and retries once.
+    Worker exceptions outside :data:`POOL_FALLBACK_EXCEPTIONS` — e.g. an
+    ``AssertionError`` tripped inside a kernel — propagate unchanged.
     """
     backend = DEFAULT_BACKEND
     workers = max(1, config.parallelism)
@@ -276,19 +326,20 @@ def _run_tasks(fn, payloads: List[Any], config: ExecutionConfig) -> List[Any]:
         try:
             results = list(pool.map(fn, payloads))
         except GCoreError:
+            # Genuine query-semantics error: serial would raise it too.
             raise
-        except Exception:
+        except POOL_FALLBACK_EXCEPTIONS:
             # Broken pool, unpicklable payload, sandboxed fork — none of
             # these may surface to the query; recycle and (once) retry,
             # then hand control back to the serial path.
             _recycle_pool(backend, workers)
             if attempt:
-                raise _Fallback from None
+                raise _Fallback("pool_error") from None
             continue
         if any(result == _STALE for result in results):
             _recycle_pool(backend, workers)
             if attempt:
-                raise _Fallback
+                raise _Fallback("stale_export")
             continue
         return results
     raise _Fallback  # pragma: no cover - loop always returns or raises
@@ -323,11 +374,20 @@ def merge_tables(payloads: List[Tuple[Any, ...]]) -> BindingTable:
     are cross-morsel ones, and first-occurrence-wins here matches the
     serial engine's dedup of the concatenated stream exactly.
     """
-    columns, variables, _data, _nrows = payloads[0]
+    # A morsel whose intermediate table empties short-circuits the rest
+    # of its atom sequence (run_atom_sequence breaks), so its chunk can
+    # carry fewer columns than its siblings — zero rows either way. Take
+    # the schema from the fullest payload; every non-empty chunk ran the
+    # complete sequence and therefore has exactly that variable set.
+    columns, variables, _data, _nrows = max(
+        payloads, key=lambda payload: len(payload[1])
+    )
     data: Dict[str, List[Any]] = {var: [] for var in variables}
     total = 0
     for payload in payloads:
         _columns, _vars, chunk, nrows = payload
+        if nrows == 0:
+            continue
         total += nrows
         for var in variables:
             data[var].extend(chunk[var])
@@ -433,7 +493,7 @@ def _context_tokens(ctx, graph) -> Tuple[Token, Optional[Token], List[Token]]:
     graph_token = export(graph)
     try:
         default = ctx.catalog.default_graph()
-    except Exception:
+    except GCoreError:
         # No default graph registered (or a snapshot without one):
         # workers simply run with no implicit ON target.
         default = None
@@ -534,7 +594,8 @@ def parallel_block_tail(
     ]
     try:
         results = _run_tasks(_block_tail_worker, payloads, config)
-    except _Fallback:
+    except _Fallback as fall:  # pool unusable: serial path re-runs the tail
+        record_fallback(f"block_tail.{fall.reason}")
         return None
     return merge_tables(results)
 
@@ -583,7 +644,7 @@ def parallel_filter(
     graph_token = export(current) if current is not None else None
     try:
         default = ctx.catalog.default_graph()
-    except Exception:
+    except GCoreError:
         # No default graph registered (or a snapshot without one):
         # workers simply run with no implicit ON target.
         default = None
@@ -603,7 +664,8 @@ def parallel_filter(
     ]
     try:
         results = _run_tasks(_filter_worker, payloads, config)
-    except _Fallback:
+    except _Fallback as fall:  # pool unusable: serial path re-filters
+        record_fallback(f"filter.{fall.reason}")
         return None
     survivors: List[int] = []
     for (start, _stop), local in zip(ranges, results):
@@ -674,7 +736,7 @@ def parallel_grouped_cells(
     graph_token = export(current) if current is not None else None
     try:
         default = ctx.catalog.default_graph()
-    except Exception:
+    except GCoreError:
         # No default graph registered (or a snapshot without one):
         # workers simply run with no implicit ON target.
         default = None
@@ -719,7 +781,8 @@ def parallel_grouped_cells(
         )
     try:
         results = _run_tasks(_grouped_worker, payloads, config)
-    except _Fallback:
+    except _Fallback as fall:  # pool unusable: serial path re-aggregates
+        record_fallback(f"group_by.{fall.reason}")
         return None
     cell_columns: List[List[Any]] = [[] for _ in item_exprs]
     for chunk_cells in results:
@@ -773,7 +836,8 @@ def _parallel_paths(
         )
     try:
         results = _run_tasks(_paths_worker, payloads, config)
-    except _Fallback:
+    except _Fallback as fall:  # pool unusable: serial path re-searches
+        record_fallback(f"paths.{fall.reason}")
         return None
     merged: Dict[Any, Any] = {}
     for chunk_result in results:

@@ -457,11 +457,18 @@ class GCoreServer:
         engine = self.engine
 
         def work() -> Dict[str, Any]:
+            from ..eval.parallel import fallback_counts
+
+            counts = fallback_counts()
             return {
                 "plan_cache": engine.plan_cache_info(),
                 "mvcc": engine.mvcc_info(),
                 "graphs": engine.catalog_info(),
                 "prepared_statements": len(self._statements),
+                "parallel_fallbacks": {
+                    "total": sum(counts.values()),
+                    "by_site": counts,
+                },
             }
 
         # catalog_info/plan_cache_info take the engine lock; run off-loop

@@ -386,7 +386,7 @@ class Snapshot:
         if graph is None:
             entry = self._entries.get(name)
             if entry is None:
-                raise UnknownGraphError(name)
+                raise UnknownGraphError(name, candidates=self._entries)
             store = FlatGraphStore(self._reader, entry)
             graph = FlatPathPropertyGraph._from_store(store, name)
             self._graphs[name] = graph
@@ -415,7 +415,7 @@ class Snapshot:
                 for table_name, spec in payload.items()
             }
         if name not in self._tables:
-            raise UnknownTableError(name)
+            raise UnknownTableError(name, candidates=self._tables)
         return self._tables[name]
 
     def __repr__(self) -> str:

@@ -13,7 +13,7 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 
 #: The abstract roots: never serialized with their own code (every
 #: concrete subclass overrides), so they are exempt from documentation.
-ABSTRACT_CODES = {"gcore_error"}
+ABSTRACT_CODES = {"gcore_error", "unknown_name"}
 
 SOURCES = (
     REPO_ROOT / "src" / "repro" / "errors.py",

@@ -1,0 +1,12 @@
+"""Shared fixture: the fuzzer's standard engine (guided-tour catalog)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz import build_engine
+
+
+@pytest.fixture(scope="module")
+def fuzz_engine():
+    return build_engine()

@@ -1,0 +1,216 @@
+"""Differential-harness units: encoding, policies, verdicts, configs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, NAIVE_CONFIG
+from repro.errors import GCoreError
+from repro.fuzz import (
+    Counterexample,
+    DifferentialTester,
+    Outcome,
+    decode_value,
+    encode_value,
+    load_counterexample,
+    parse_configs,
+    run_case,
+)
+from repro.fuzz.differential import (
+    TablePolicy,
+    _canonical_graph,
+    diff_outcomes,
+    rows_sorted,
+    table_policy,
+)
+from repro.model.values import Date
+
+
+# ---------------------------------------------------------------------------
+# Value encoding
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        True,
+        False,
+        0,
+        1,
+        -3.5,
+        "text",
+        None,
+        Date(2014, 12, 1),
+        frozenset({1, 2, 3}),
+        frozenset({"a", True, 2}),
+        [1, "x", Date(1999, 1, 17)],
+    ],
+)
+def test_encode_decode_round_trip(value):
+    encoded = encode_value(value)
+    decoded = decode_value(encoded)
+    if isinstance(value, (list, tuple)):
+        assert list(decoded) == list(value)
+    elif isinstance(value, frozenset):
+        assert frozenset(decoded) == value
+    else:
+        assert decoded == value
+        assert type(decoded) is type(value)
+
+
+def test_encoding_distinguishes_bool_from_int():
+    assert encode_value(True) != encode_value(1)
+    assert encode_value(False) != encode_value(0)
+
+
+def test_encode_is_idempotent():
+    once = encode_value(Date(2014, 12, 1))
+    assert encode_value(once) == once
+
+
+# ---------------------------------------------------------------------------
+# Counterexample round-trip
+# ---------------------------------------------------------------------------
+
+def test_counterexample_json_round_trip(tmp_path):
+    entry = Counterexample(
+        seed=42,
+        query="SELECT 1 AS a MATCH (n)",
+        params={"d": encode_value(Date(2002, 10, 1))},
+        configs=[DEFAULT_CONFIG.to_json(), NAIVE_CONFIG.to_json()],
+        expected={"config": "oracle", "outcome": {"kind": "table"}},
+        actual={"config": "default", "outcome": {"kind": "error"}},
+        kind="kind-mismatch",
+        note="synthetic",
+    )
+    path = tmp_path / "ce.json"
+    entry.save(path)
+    loaded = load_counterexample(path)
+    assert loaded == entry
+    assert loaded.decoded_params() == {"d": Date(2002, 10, 1)}
+
+
+# ---------------------------------------------------------------------------
+# Config parsing
+# ---------------------------------------------------------------------------
+
+def test_parse_configs_accepts_presets_and_specs():
+    configs = parse_configs(["default", "parallelism=4,planner=greedy"])
+    names = [name for name, _ in configs]
+    assert names[0] == "default"
+    spec = dict(configs)[names[1]]
+    assert spec.parallelism == 4
+    assert spec.planner == "greedy"
+
+
+def test_parse_configs_rejects_unknown_axis():
+    with pytest.raises(GCoreError):
+        parse_configs(["nonsense=1"])
+
+
+# ---------------------------------------------------------------------------
+# Table policies and verdicts
+# ---------------------------------------------------------------------------
+
+def test_table_policy_limit_is_count_only(fuzz_engine):
+    statement = fuzz_engine.parse(
+        "SELECT n.name AS a MATCH (n:Person) LIMIT 3"
+    )
+    assert table_policy(statement).count_only
+
+
+def test_table_policy_projected_order_key(fuzz_engine):
+    statement = fuzz_engine.parse(
+        "SELECT n.name AS a MATCH (n:Person) ORDER BY a DESC"
+    )
+    policy = table_policy(statement)
+    assert policy.order_spec == ((0, False),)
+
+
+def test_rows_sorted():
+    spec = ((0, True),)
+    assert rows_sorted([[1], [2], [2], [9]], spec)
+    assert not rows_sorted([[2], [1]], spec)
+    assert rows_sorted([[9], [2], [1]], ((0, False),))
+
+
+def test_diff_outcomes_multiset_rows():
+    policy = TablePolicy(count_only=False, order_spec=())
+    a = Outcome("table", {"columns": ["a"], "rows": [[1], [2]]})
+    b = Outcome("table", {"columns": ["a"], "rows": [[2], [1]]})
+    c = Outcome("table", {"columns": ["a"], "rows": [[2], [2]]})
+    assert diff_outcomes(a, b, policy) is None
+    assert diff_outcomes(a, c, policy) == "rows"
+
+
+def test_diff_outcomes_crash_dominates():
+    policy = TablePolicy(count_only=False, order_spec=())
+    ok = Outcome("table", {"columns": [], "rows": []})
+    crash = Outcome("crash", {"error": "KeyError", "message": "p6"})
+    assert diff_outcomes(ok, crash, policy) == "crash"
+
+
+# ---------------------------------------------------------------------------
+# Graph canonicalization
+# ---------------------------------------------------------------------------
+
+def test_fresh_construct_ids_are_canonicalized(fuzz_engine):
+    """Two runs of one ungrouped CONSTRUCT draw different fresh ids from
+    the engine's shared counter; canonical forms must still agree."""
+    text = "CONSTRUCT (x) MATCH (n:Tag)"
+    first = run_case(fuzz_engine, text, {}, DEFAULT_CONFIG)
+    second = run_case(fuzz_engine, text, {}, DEFAULT_CONFIG)
+    assert first.kind == "graph" == second.kind
+    assert first.payload == second.payload
+
+
+def test_canonical_graph_renumbers_by_allocation_order():
+    data = {
+        "nodes": [
+            {"id": "_n9", "labels": ["A"]},
+            {"id": "_n12", "labels": ["B"]},
+            {"id": "stable", "labels": []},
+        ],
+        "edges": [
+            {"id": "_e4", "source": "_n12", "target": "stable"},
+        ],
+        "paths": [],
+    }
+    canon = _canonical_graph(data)
+    ids = {node["id"] for node in canon["nodes"]}
+    assert ids == {"_n#0", "_n#1", "stable"}
+    (edge,) = canon["edges"]
+    assert edge["id"] == "_e#0"
+    assert edge["source"] == "_n#1"
+    assert edge["target"] == "stable"
+
+
+# ---------------------------------------------------------------------------
+# Tester behaviour
+# ---------------------------------------------------------------------------
+
+def test_tester_passes_clean_query(fuzz_engine):
+    tester = DifferentialTester(engine=fuzz_engine)
+    assert tester.check_text(
+        "SELECT n.firstName AS a MATCH (n:Person) ORDER BY n.firstName",
+        {},
+        seed=0,
+    ) is None
+    assert tester.stats["executed"] == 1
+
+
+def test_tester_skips_statements_with_hard_analyzer_errors(fuzz_engine):
+    tester = DifferentialTester(engine=fuzz_engine)
+    assert tester.check_text("SELECT 1 +", {}, seed=0) is None
+    assert tester.stats["skipped"] == 1
+    assert tester.stats["executed"] == 0
+
+
+def test_tester_error_parity_lane(fuzz_engine):
+    """GC101-class analyzer verdicts must hold on every lattice point."""
+    tester = DifferentialTester(engine=fuzz_engine)
+    result = tester.check_text(
+        "SELECT 1 AS a MATCH (n) ON missing_graph", {}, seed=0
+    )
+    assert result is None
+    assert tester.stats["parity_checked"] == 1

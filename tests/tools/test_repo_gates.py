@@ -57,13 +57,28 @@ def fake_repo(tmp_path):
     parallel = tmp_path / "src" / "repro" / "eval" / "parallel.py"
     parallel.parent.mkdir(parents=True)
     parallel.write_text(
-        "try:\n    pass\nexcept Exception:  # safe: degrade to serial\n"
+        "try:\n    pass\nexcept (OSError, RuntimeError):  # safe: degrade to serial\n"
         "    pass\n",
         encoding="utf-8",
     )
     (tmp_path / "src" / "repro" / "eval" / "match.py").write_text(
         "run(naive=True)\n", encoding="utf-8"
     )
+    corpus = tmp_path / "tests" / "fuzz" / "corpus"
+    corpus.mkdir(parents=True)
+    from repro.config import DEFAULT_CONFIG, NAIVE_CONFIG
+    from repro.fuzz import Counterexample
+
+    Counterexample(
+        seed=0,
+        query="SELECT n.firstName AS a MATCH (n:Person)",
+        params={},
+        configs=[NAIVE_CONFIG.to_json(), DEFAULT_CONFIG.to_json()],
+        expected={},
+        actual={},
+        kind="rows",
+        note="synthetic clean entry for the gate tests",
+    ).save(corpus / "0001-clean.json")
     return tmp_path
 
 
@@ -120,21 +135,93 @@ class TestLintRepoSynthetic:
     def test_uncommented_fallback_flagged(self, fake_repo):
         parallel = fake_repo / "src" / "repro" / "eval" / "parallel.py"
         parallel.write_text(
-            "try:\n    pass\nexcept Exception:\n    pass\n",
+            "try:\n    pass\nexcept OSError:\n    pass\n",
             encoding="utf-8",
         )
         problems = lint_repo.run_lint(fake_repo)
         assert len(problems) == 1
-        assert "except Exception" in problems[0]
+        assert "justifying comment" in problems[0]
 
     def test_comment_on_next_line_accepted(self, fake_repo):
         parallel = fake_repo / "src" / "repro" / "eval" / "parallel.py"
         parallel.write_text(
-            "try:\n    pass\nexcept Exception:\n"
+            "try:\n    pass\nexcept OSError:\n"
             "    # workers fall back to the serial path\n    pass\n",
             encoding="utf-8",
         )
         assert lint_repo.run_lint(fake_repo) == []
+
+    def test_blanket_except_exception_flagged_even_with_comment(self, fake_repo):
+        parallel = fake_repo / "src" / "repro" / "eval" / "parallel.py"
+        parallel.write_text(
+            "try:\n    pass\nexcept Exception:  # safe: degrade to serial\n"
+            "    pass\n",
+            encoding="utf-8",
+        )
+        problems = lint_repo.run_lint(fake_repo)
+        assert len(problems) == 1
+        assert "blanket" in problems[0]
+        assert "POOL_FALLBACK_EXCEPTIONS" in problems[0]
+
+    def test_bare_except_flagged(self, fake_repo):
+        parallel = fake_repo / "src" / "repro" / "eval" / "parallel.py"
+        parallel.write_text(
+            "try:\n    pass\nexcept:  # anything\n    pass\n",
+            encoding="utf-8",
+        )
+        problems = lint_repo.run_lint(fake_repo)
+        assert len(problems) == 1
+        assert "blanket" in problems[0]
+
+    def test_missing_corpus_dir_flagged(self, fake_repo):
+        corpus = fake_repo / "tests" / "fuzz" / "corpus"
+        (corpus / "0001-clean.json").unlink()
+        corpus.rmdir()
+        problems = lint_repo.run_lint(fake_repo)
+        assert len(problems) == 1
+        assert "corpus directory missing" in problems[0]
+
+    def test_empty_corpus_flagged(self, fake_repo):
+        (fake_repo / "tests" / "fuzz" / "corpus" / "0001-clean.json").unlink()
+        problems = lint_repo.run_lint(fake_repo)
+        assert len(problems) == 1
+        assert "corpus is empty" in problems[0]
+
+    def test_unloadable_corpus_entry_flagged(self, fake_repo):
+        corpus = fake_repo / "tests" / "fuzz" / "corpus"
+        (corpus / "0002-broken.json").write_text("{not json", encoding="utf-8")
+        problems = lint_repo.run_lint(fake_repo)
+        assert len(problems) == 1
+        assert "0002-broken.json" in problems[0]
+        assert "not a loadable counterexample" in problems[0]
+
+    def test_unparseable_corpus_query_flagged(self, fake_repo):
+        import json
+
+        corpus = fake_repo / "tests" / "fuzz" / "corpus"
+        entry = json.loads(
+            (corpus / "0001-clean.json").read_text(encoding="utf-8")
+        )
+        entry["query"] = "SELECT 1 +"
+        (corpus / "0003-syntax.json").write_text(
+            json.dumps(entry), encoding="utf-8"
+        )
+        problems = lint_repo.run_lint(fake_repo)
+        assert len(problems) == 1
+        assert "0003-syntax.json" in problems[0]
+        assert "does not parse" in problems[0]
+
+    def test_rediverging_corpus_entry_flagged(self, fake_repo, monkeypatch):
+        import repro.fuzz as fuzz_pkg
+
+        monkeypatch.setattr(
+            fuzz_pkg,
+            "replay_counterexample",
+            lambda entry, engine=None: entry,
+        )
+        problems = lint_repo.run_lint(fake_repo)
+        assert len(problems) == 1
+        assert "replay diverges again" in problems[0]
 
 
 class TestMypyGateLogic:

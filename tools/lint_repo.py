@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-invariant lint: AST-level checks CI runs blocking.
 
-Three invariants that ordinary linters cannot express:
+Four invariants that ordinary linters cannot express:
 
 1. **Error wire contract** — every ``GCoreError`` subclass in
    ``src/repro/errors.py`` and every ``ApiError`` subclass in
@@ -17,6 +17,10 @@ Three invariants that ordinary linters cannot express:
    the handler's first line) saying *why* swallowing is safe; the
    module's whole design is silent degradation to the serial path, so
    an uncommented handler is indistinguishable from a bug.
+4. **Fuzz corpus integrity** — every JSON under ``tests/fuzz/corpus/``
+   must load as a counterexample, its query must parse as G-CORE, and
+   replaying it against the fixed engine must come back clean (corpus
+   entries record *fixed* bugs — see ``docs/fuzzing.md``).
 
 Exit status: 0 clean, 1 violations (one per line on stdout).
 
@@ -46,6 +50,8 @@ ERROR_HIERARCHIES = {
 }
 
 PARALLEL_FALLBACKS = Path("src/repro/eval/parallel.py")
+
+FUZZ_CORPUS = Path("tests/fuzz/corpus")
 
 
 def check_error_contract(root: Path) -> List[str]:
@@ -124,13 +130,30 @@ def check_naive_callsites(root: Path) -> List[str]:
 
 
 def check_parallel_fallbacks(root: Path) -> List[str]:
-    """Invariant 3: every except Exception in parallel.py is commented."""
+    """Invariant 3: parallel.py handlers are narrow and commented.
+
+    Blanket ``except Exception`` / bare ``except:`` fallbacks are
+    forbidden outright — they swallow ``AssertionError`` from worker
+    invariants, which the differential fuzzer relies on surfacing; every
+    remaining (named) handler must still carry a comment (inline or as
+    the handler's first line) saying *why* catching is safe.
+    """
     problems: List[str] = []
     path = root / PARALLEL_FALLBACKS
     lines = path.read_text(encoding="utf-8").splitlines()
     for index, line in enumerate(lines):
         stripped = line.strip()
-        if not stripped.startswith("except Exception"):
+        if not stripped.startswith("except"):
+            continue
+        clause = stripped.split("#", 1)[0].strip()
+        if clause.rstrip(":") in ("except", "except Exception") or clause.startswith(
+            ("except Exception:", "except Exception as", "except BaseException")
+        ):
+            problems.append(
+                f"{PARALLEL_FALLBACKS}:{index + 1}: blanket {clause!r} "
+                f"fallback (name the exceptions — see "
+                f"POOL_FALLBACK_EXCEPTIONS)"
+            )
             continue
         if "#" in line:
             continue  # inline justification
@@ -138,8 +161,56 @@ def check_parallel_fallbacks(root: Path) -> List[str]:
         follower = lines[index + 1].strip() if index + 1 < len(lines) else ""
         if not follower.startswith("#"):
             problems.append(
-                f"{PARALLEL_FALLBACKS}:{index + 1}: bare 'except Exception' "
-                f"fallback without a justifying comment"
+                f"{PARALLEL_FALLBACKS}:{index + 1}: exception fallback "
+                f"without a justifying comment"
+            )
+    return problems
+
+
+def check_fuzz_corpus(root: Path) -> List[str]:
+    """Invariant 4: corpus counterexamples load, parse, and replay clean."""
+    corpus = root / FUZZ_CORPUS
+    problems: List[str] = []
+    if not corpus.is_dir():
+        return [f"{FUZZ_CORPUS}: corpus directory missing"]
+    entries = sorted(corpus.glob("*.json"))
+    if not entries:
+        return [f"{FUZZ_CORPUS}: corpus is empty"]
+    # Prefer an already-importable repro (the test suite runs with
+    # PYTHONPATH=src); fall back to the root being linted, as in the CI
+    # lint-repo job, which sets no PYTHONPATH.
+    try:
+        from repro.fuzz import (
+            build_engine,
+            load_counterexample,
+            replay_counterexample,
+        )
+    except ImportError:
+        sys.path.insert(0, str((root / "src").resolve()))
+        from repro.fuzz import (
+            build_engine,
+            load_counterexample,
+            replay_counterexample,
+        )
+
+    engine = build_engine()
+    for path in entries:
+        rel = FUZZ_CORPUS / path.name
+        try:
+            entry = load_counterexample(path)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            problems.append(f"{rel}: not a loadable counterexample: {exc}")
+            continue
+        try:
+            engine.parse(entry.query)
+        except Exception as exc:
+            problems.append(f"{rel}: query does not parse: {exc}")
+            continue
+        fresh = replay_counterexample(entry, engine=engine)
+        if fresh is not None:
+            problems.append(
+                f"{rel}: replay diverges again (kind {fresh.kind}) — "
+                f"corpus entries must record fixed bugs"
             )
     return problems
 
@@ -149,6 +220,7 @@ def run_lint(root: Path) -> List[str]:
     problems += check_error_contract(root)
     problems += check_naive_callsites(root)
     problems += check_parallel_fallbacks(root)
+    problems += check_fuzz_corpus(root)
     return problems
 
 
